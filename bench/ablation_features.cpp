@@ -1,0 +1,88 @@
+// Ablation: which of Table I's five features carry the detection signal?
+//
+// The paper omits its feature ablation for space ("we omit the evaluation
+// results and discussions on various features, tree depth, and training
+// set size"); this bench fills that gap.  Each row trains the RandomTree
+// on a feature subset and evaluates on a held-out campaign.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/metrics.hpp"
+
+namespace {
+
+using xentry::ml::Dataset;
+using xentry::ml::Label;
+
+/// Projects a dataset onto a subset of feature columns.
+Dataset project(const Dataset& src, const std::vector<int>& cols) {
+  std::vector<std::string> names;
+  for (int c : cols) {
+    names.push_back(src.feature_names()[static_cast<std::size_t>(c)]);
+  }
+  Dataset out(names);
+  std::vector<std::int64_t> row(cols.size());
+  for (std::size_t r = 0; r < src.size(); ++r) {
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      row[i] = src.value(r, static_cast<std::size_t>(cols[i]));
+    }
+    out.add(row, src.label(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xentry;
+  bench::print_header("Ablation: feature subsets (VMER, RT, BR, RM, WM)");
+
+  fault::CampaignConfig train_cfg;
+  train_cfg.injections = bench::scaled(23400);
+  train_cfg.seed = 101;
+  train_cfg.collect_dataset = true;
+  auto train_res = fault::run_campaign(train_cfg);
+  fault::CampaignConfig test_cfg = train_cfg;
+  test_cfg.injections = bench::scaled(12000);
+  test_cfg.seed = 606;
+  auto test_res = fault::run_campaign(test_cfg);
+
+  const ml::Dataset balanced =
+      fault::oversample_incorrect(train_res.dataset, 0.20);
+
+  struct Row {
+    const char* name;
+    std::vector<int> cols;
+  };
+  const Row rows[] = {
+      {"all five", {0, 1, 2, 3, 4}},
+      {"no VMER", {1, 2, 3, 4}},
+      {"VMER+RT", {0, 1}},
+      {"VMER only", {0}},
+      {"RT only", {1}},
+      {"BR only", {2}},
+      {"RM+WM", {3, 4}},
+      {"counters only (RT,BR,RM,WM)", {1, 2, 3, 4}},
+  };
+  std::printf("%-30s %9s %9s %9s\n", "features", "accuracy", "fp_rate",
+              "fn_rate");
+  for (const Row& r : rows) {
+    const Dataset tr = project(balanced, r.cols);
+    const Dataset te = project(test_res.dataset, r.cols);
+    ml::DecisionTree tree;
+    tree.train(tr, ml::random_tree_params(r.cols.size(), 17));
+    auto m =
+        ml::evaluate(te, [&](auto row) { return tree.predict(row); });
+    std::printf("%-30s %8.2f%% %8.2f%% %8.1f%%\n", r.name,
+                100 * m.accuracy(), 100 * m.false_positive_rate(),
+                100 * m.false_negative_rate());
+  }
+  std::printf(
+      "\nobserved shape: no single feature suffices -- VMER alone cannot\n"
+      "separate anything (it is pure context), and each counter alone\n"
+      "misses most errors; accuracy needs the counters interpreted\n"
+      "together (and VMER mostly conditions them, Section III-B).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared plumbing for the experiment-reproduction binaries.
+//
+// Every bench prints the rows/series of one paper table or figure.  Scale
+// knobs default to paper scale but honour XENTRY_BENCH_SCALE (a fraction,
+// e.g. 0.1 for a quick pass).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fault/campaign.hpp"
+#include "fault/stats.hpp"
+#include "fault/training.hpp"
+
+namespace xentry::bench {
+
+/// Global scale factor from the environment (default 1.0 = paper scale).
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("XENTRY_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+  }();
+  return s;
+}
+
+inline int scaled(int n) {
+  const int v = static_cast<int>(n * scale());
+  return v < 100 ? 100 : v;
+}
+
+/// A workload profile pooling every benchmark's PV mixture — the
+/// training distribution (the paper trains and tests on the same set of
+/// benchmarks, Section III-B).
+inline wl::WorkloadProfile pooled_benchmark_profile() {
+  wl::WorkloadProfile pooled;
+  for (wl::Benchmark b : wl::all_benchmarks()) {
+    const wl::WorkloadProfile p = wl::profile(b, wl::VirtMode::Para);
+    // Normalize each benchmark's mixture to equal total weight.
+    double total = 0;
+    for (const auto& [r, w] : p.mix) total += w;
+    for (const auto& [r, w] : p.mix) pooled.mix.emplace_back(r, w / total);
+  }
+  return pooled;
+}
+
+/// Trains the deployable transition-detection model the way the paper
+/// does: a dedicated injection campaign (~23,400 runs at full scale) over
+/// the benchmark workloads, feeding a RandomTree.  Deterministic; shared
+/// by the detection benches.
+inline fault::TrainedDetector train_paper_model(std::uint64_t seed = 101) {
+  fault::CampaignConfig cfg;
+  cfg.injections = scaled(23400);
+  cfg.seed = seed;
+  cfg.collect_dataset = true;
+  cfg.workload = pooled_benchmark_profile();
+  fault::CampaignResult res = fault::run_campaign(cfg);
+  fault::TrainingOptions opt;
+  opt.incorrect_target_fraction = 0.20;
+  return fault::train_detector(res.dataset, opt);
+}
+
+/// Runs the paper's 30,000-injection evaluation campaign with the given
+/// model installed.
+inline fault::CampaignResult run_eval_campaign(const ml::RuleSet& model,
+                                               std::uint64_t seed = 202,
+                                               int injections = 30000) {
+  fault::CampaignConfig cfg;
+  cfg.injections = scaled(injections);
+  cfg.seed = seed;
+  cfg.model = model;
+  cfg.workload = pooled_benchmark_profile();
+  return fault::run_campaign(cfg);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("=== %s ===\n", title.c_str());
+  if (scale() != 1.0) std::printf("(scale factor %.3f)\n", scale());
+}
+
+}  // namespace xentry::bench

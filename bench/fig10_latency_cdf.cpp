@@ -1,0 +1,39 @@
+// Fig. 10: cumulative distribution of detection latency (instructions
+// between error activation and detection), per technique.
+//
+// Paper anchors: ~95% of VM-transition detections within 700 instructions;
+// hardware exceptions and software assertions generally shorter; every
+// detection lands before the VM execution resumes.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace xentry;
+  bench::print_header("Fig. 10: CDF of detection latency (instructions)");
+
+  fault::TrainedDetector det = bench::train_paper_model();
+  const auto res = bench::run_eval_campaign(det.rules);
+  auto by_tech = fault::latency_by_technique(res.records);
+
+  const std::vector<std::uint64_t> points = {100, 200, 300, 400, 500,
+                                             600, 700, 800, 900, 1000};
+  std::printf("%-14s", "technique");
+  for (std::uint64_t p : points) std::printf(" %6lu", (unsigned long)p);
+  std::printf("   n      p95\n");
+
+  for (Technique t : {Technique::HardwareException,
+                      Technique::SoftwareAssertion,
+                      Technique::VmTransition}) {
+    const auto& lats = by_tech[t];
+    const auto cdf = fault::latency_cdf(lats, points);
+    std::printf("%-14s", std::string(technique_name(t)).c_str());
+    for (double c : cdf) std::printf(" %5.1f%%", 100 * c);
+    std::printf(" %5zu %7lu\n", lats.size(),
+                (unsigned long)fault::latency_percentile(lats, 95));
+  }
+  std::printf(
+      "\npaper anchors: vm_transition p95 < 700 instructions; runtime\n"
+      "techniques shorter; all detections occur before VM entry resumes.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 11: fault-free overhead of the assumed light-weight recovery with
+// false-positive cases (Section VI).
+//
+// Methodology mirrors the paper: collect a trace of hypervisor execution
+// durations per application, copy critical data at every VM exit
+// (~1,900 ns measured on the Xeon E5506), draw false positives at the
+// classifier's measured rate (0.7%) which restore + re-execute the
+// activation, repeat the draw 100 times per application.
+//
+// Paper anchors: avg 2.7%; mcf and bzip2 ~1.6%; postmark highest at 6.3%;
+// max-min spread per application below 0.03%.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "workloads/workload.hpp"
+#include "xentry/recovery.hpp"
+
+int main() {
+  using namespace xentry;
+  bench::print_header("Fig. 11: recovery overhead with false positives");
+
+  hv::Machine machine;
+  RecoveryParams params;  // 1,900 ns copy, 0.7% FP, 2.13 GHz
+  const int trials = 100;
+  const double window_s = 1.0;
+  const double ns_per_cycle = 1e9 / (params.cpu_ghz * 1e9) * 1.0;
+
+  std::printf("%-10s %10s %12s %9s %9s %9s\n", "benchmark", "rate(/s)",
+              "mean_ns/act", "mean %", "min %", "max %");
+  double sum = 0;
+  for (wl::Benchmark b : wl::all_benchmarks()) {
+    const wl::WorkloadProfile prof = wl::profile(b, wl::VirtMode::Para);
+    wl::WorkloadGenerator gen(machine, prof,
+                              55 + static_cast<std::uint64_t>(b));
+    // Mean activation duration (cycles == instructions) over the mix.
+    const int probes = bench::scaled(1500);
+    double cycles = 0;
+    for (int i = 0; i < probes; ++i) {
+      cycles += static_cast<double>(machine.run(gen.next()).steps);
+    }
+    const double mean_ns =
+        cycles / probes * ns_per_cycle * prof.disturbance;
+    // Fig. 3's activation rates are machine-wide across the four guest
+    // VMs; recovery overhead is experienced per VM, so each VM sees a
+    // quarter of the stream.
+    const double rate = prof.rate_median / 4.0;
+    // One second of hypervisor executions at the benchmark's median rate.
+    const auto n = static_cast<std::size_t>(rate * window_s);
+    std::vector<double> activations(n, mean_ns);
+    const RecoveryOverhead o = estimate_recovery_overhead(
+        params, activations, window_s * 1e9, trials,
+        911 + static_cast<std::uint64_t>(b));
+    std::printf("%-10s %10.0f %12.0f %8.2f%% %8.2f%% %8.2f%%\n",
+                std::string(wl::benchmark_name(b)).c_str(), rate, mean_ns,
+                100 * o.mean, 100 * o.min, 100 * o.max);
+    sum += o.mean;
+  }
+  std::printf("%-10s %41.2f%%\n", "AVG", 100 * sum / 6);
+  std::printf(
+      "\npaper anchors: avg 2.7%%; mcf/bzip2 ~1.6%%; postmark 6.3%%;\n"
+      "per-app max-min spread < 0.03%%.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 8: overall detection coverage per benchmark — shares of manifested
+// errors detected by hardware exceptions, software assertions, and VM
+// transition detection, plus the undetected residue.
+//
+// Paper anchors (30,000 injections, ~17,700 manifested): coverage up to
+// 99.4%, average 97.6%; H/W exceptions ~85.1%, S/W assertions ~5.2%,
+// VM transition detection ~6.9%, undetected ~2.4%.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "workloads/workload.hpp"
+
+int main() {
+  using namespace xentry;
+  bench::print_header("Fig. 8: overall detection coverage");
+
+  fault::TrainedDetector det = bench::train_paper_model();
+
+  std::printf("%-10s %10s %8s %8s %8s %8s %9s\n", "benchmark", "manifested",
+              "hw_exc", "sw_asrt", "vm_tran", "undet", "coverage");
+
+  fault::CoverageBreakdown total;
+  const int per_benchmark = bench::scaled(30000) / 6;
+  for (wl::Benchmark b : wl::all_benchmarks()) {
+    fault::CampaignConfig cfg;
+    cfg.injections = per_benchmark;
+    cfg.seed = 202 + static_cast<std::uint64_t>(b);
+    cfg.model = det.rules;
+    cfg.workload = wl::profile(b, wl::VirtMode::Para);
+    const auto res = fault::run_campaign(cfg);
+    const auto cov = fault::coverage_breakdown(res.records);
+    std::printf("%-10s %10zu %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.1f%%\n",
+                std::string(wl::benchmark_name(b)).c_str(), cov.manifested,
+                100 * cov.share(cov.hw_exception),
+                100 * cov.share(cov.sw_assertion),
+                100 * cov.share(cov.vm_transition),
+                100 * cov.share(cov.undetected), 100 * cov.coverage());
+    total.manifested += cov.manifested;
+    total.hw_exception += cov.hw_exception;
+    total.sw_assertion += cov.sw_assertion;
+    total.vm_transition += cov.vm_transition;
+    total.undetected += cov.undetected;
+  }
+  std::printf("%-10s %10zu %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.1f%%\n", "AVG",
+              total.manifested, 100 * total.share(total.hw_exception),
+              100 * total.share(total.sw_assertion),
+              100 * total.share(total.vm_transition),
+              100 * total.share(total.undetected), 100 * total.coverage());
+  std::printf(
+      "\npaper anchors: coverage up to 99.4%%, avg 97.6%%; hw 85.1%%, "
+      "sw 5.2%%, vmt 6.9%%, undetected 2.4%%.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 9: detection coverage of long-latency errors, grouped by the
+// consequence they would have caused if undetected: APP SDC, APP crash,
+// all-VM failure, one-VM failure.
+//
+// Paper anchors: 92.6% of APP SDC and 96.8% of APP crash cases detected;
+// these cases propagate across VM entry and are invisible to runtime
+// detection — only VM transition detection catches them.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace xentry;
+  bench::print_header("Fig. 9: detection of long-latency errors");
+
+  fault::TrainedDetector det = bench::train_paper_model();
+  const auto res = bench::run_eval_campaign(det.rules);
+
+  std::printf("%-16s %8s %10s %12s\n", "consequence", "total", "detected",
+              "detected %");
+  for (const fault::LongLatencyRow& row :
+       fault::long_latency_breakdown(res.records)) {
+    std::printf("%-16s %8zu %10zu %11.1f%%\n",
+                std::string(fault::consequence_name(row.consequence)).c_str(),
+                row.total, row.detected, 100 * row.rate());
+  }
+
+  // Control-flow-visible subset: the population the paper's technique is
+  // designed for (errors that altered the dynamic execution signature).
+  std::size_t cf_total = 0, cf_detected = 0;
+  for (const auto& r : res.records) {
+    if (!fault::is_long_latency(r.consequence) || !r.trace_diverged) continue;
+    ++cf_total;
+    cf_detected += r.detected ? 1 : 0;
+  }
+  std::printf("\ncontrol-flow-visible long-latency errors: %zu, detected "
+              "%.1f%%\n",
+              cf_total,
+              cf_total ? 100.0 * static_cast<double>(cf_detected) /
+                             static_cast<double>(cf_total)
+                       : 0.0);
+  std::printf(
+      "paper anchors: APP SDC 92.6%%, APP crash 96.8%% detected; all four\n"
+      "classes are only reachable by VM transition detection.\n");
+  return 0;
+}

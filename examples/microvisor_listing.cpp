@@ -1,0 +1,55 @@
+// Dumps the assembled microvisor: a full disassembly listing with symbol
+// headers, followed by the static verifier's report.  Useful when writing
+// or auditing handlers.
+//
+//   $ ./microvisor_listing [symbol]
+//
+// With a symbol argument, prints only that function (e.g. "schedule",
+// "hypercall_mmu_update_body").
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "hv/microvisor.hpp"
+#include "sim/verifier.hpp"
+
+using namespace xentry;
+
+int main(int argc, char** argv) {
+  const std::string only = argc > 1 ? argv[1] : "";
+
+  const hv::Microvisor mv = hv::build_microvisor();
+  const sim::Program& p = mv.program;
+
+  // Invert the symbol table for header printing.
+  std::string current;
+  std::size_t skipped_padding = 0;
+  for (sim::Addr a = p.base(); a < p.end(); ++a) {
+    const std::string sym = p.symbol_at(a);
+    const bool is_entry = p.has_symbol(sym) && p.symbol(sym) == a;
+    if (is_entry && sym != current) {
+      current = sym;
+      if (only.empty() || current == only) {
+        std::printf("\n%s:\n", current.c_str());
+      }
+    }
+    if (!only.empty() && current != only) continue;
+    const sim::Instruction& insn = p.at(a);
+    if (insn.op == sim::Opcode::Ud) {
+      ++skipped_padding;
+      continue;
+    }
+    std::printf("  %06lx  %s\n", (unsigned long)a,
+                sim::disassemble(insn).c_str());
+  }
+
+  if (only.empty()) {
+    sim::VerifierOptions opt;
+    opt.max_assert_id = hv::kAssertMaxId;
+    const sim::VerifierReport report = sim::verify_program(p, opt);
+    std::printf("\n;; %s\n", report.to_string().c_str());
+    std::printf(";; %zu symbols, %zu padding slots suppressed\n",
+                p.symbols().size(), skipped_padding);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "fault/campaign.hpp"
+
+#include <memory>
+#include <thread>
+
+namespace xentry::fault {
+
+wl::WorkloadProfile uniform_sweep_profile() {
+  wl::WorkloadProfile p;
+  for (const hv::ExitReason& r : hv::all_exit_reasons()) {
+    p.mix.emplace_back(r, 1.0);
+  }
+  return p;
+}
+
+namespace {
+
+/// One shard's work: its own machines, generator, and RNG.
+CampaignResult run_shard(const CampaignConfig& cfg, int shard_index,
+                         int num_shards) {
+  const int base = cfg.injections / num_shards;
+  const int extra = shard_index < cfg.injections % num_shards ? 1 : 0;
+  const int quota = base + extra;
+
+  CampaignResult result;
+  if (quota == 0) return result;
+  result.records.reserve(static_cast<std::size_t>(quota));
+
+  hv::Machine golden(cfg.machine);
+  hv::Machine faulty(cfg.machine);
+  Xentry xentry(cfg.xentry);
+  if (!cfg.model.empty()) xentry.set_model(cfg.model);
+  InjectionExperiment experiment(golden, faulty, xentry, cfg.outcome);
+
+  wl::WorkloadProfile profile =
+      cfg.workload.mix.empty() ? uniform_sweep_profile() : cfg.workload;
+  const std::uint64_t shard_seed =
+      cfg.seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(shard_index);
+  wl::WorkloadGenerator gen(golden, profile, shard_seed);
+  std::mt19937_64 rng(shard_seed ^ 0xc2b2ae3d27d4eb4full);
+
+  for (int i = 0; i < cfg.warmup_activations; ++i) {
+    experiment.advance(gen.next());
+  }
+
+  for (int i = 0; i < quota; ++i) {
+    const hv::Activation act = gen.next();
+    const InjectionExperiment::GoldenProbe probe =
+        experiment.probe_golden(act);
+    if (probe.steps == 0) continue;  // degenerate activation; skip
+    std::bernoulli_distribution biased(cfg.activation_bias);
+    const hv::Injection inj =
+        biased(rng)
+            ? InjectionExperiment::draw_activated_injection(
+                  rng, probe.trace, golden.microvisor().program)
+            : InjectionExperiment::draw_injection(rng, probe.steps);
+    InjectionExperiment::Result r = experiment.run_one(act, inj);
+    if (cfg.collect_dataset) {
+      result.dataset.add(r.golden_features.as_array(), ml::Label::Correct);
+      if (r.record.activated && r.record.trap == sim::TrapKind::None &&
+          r.record.injected) {
+        // Reached VM entry: the transition detector's input space.
+        result.dataset.add(r.record.features.as_array(),
+                           r.record.trace_diverged ? ml::Label::Incorrect
+                                                   : ml::Label::Correct);
+      }
+    }
+    result.records.push_back(r.record);
+    for (int g = 0; g < cfg.stream_gap; ++g) {
+      experiment.advance(gen.next());
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+  int shards = cfg.shards;
+  if (shards <= 0) {
+    shards = static_cast<int>(std::thread::hardware_concurrency());
+    if (shards <= 0) shards = 4;
+  }
+  if (shards > cfg.injections && cfg.injections > 0) shards = cfg.injections;
+
+  std::vector<CampaignResult> partials(static_cast<std::size_t>(shards));
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      threads.emplace_back([&cfg, &partials, s, shards] {
+        partials[static_cast<std::size_t>(s)] = run_shard(cfg, s, shards);
+      });
+    }
+  }  // jthreads join here
+
+  CampaignResult merged;
+  for (CampaignResult& p : partials) {
+    merged.records.insert(merged.records.end(), p.records.begin(),
+                          p.records.end());
+    for (std::size_t r = 0; r < p.dataset.size(); ++r) {
+      merged.dataset.add(p.dataset.row(r), p.dataset.label(r));
+    }
+  }
+  return merged;
+}
+
+}  // namespace xentry::fault

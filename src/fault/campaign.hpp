@@ -1,0 +1,66 @@
+// Parallel fault-injection campaigns.
+//
+// The paper runs 30,000 injections for the coverage study and ~23,400 +
+// ~17,700 for training/testing the classifier (Sections III-B, V-D).  A
+// campaign shards its injections across threads; each shard owns an
+// isolated golden/faulty Machine pair and a workload generator seeded
+// per shard, so results are deterministic for a fixed (seed, shards)
+// pair and shards share no mutable state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/experiment.hpp"
+#include "fault/outcome.hpp"
+#include "ml/dataset.hpp"
+#include "ml/rules.hpp"
+#include "workloads/workload.hpp"
+#include "xentry/framework.hpp"
+
+namespace xentry::fault {
+
+struct CampaignConfig {
+  int injections = 1000;
+  /// Probability that an injection targets a register the upcoming
+  /// instruction reads (an *activated* error, paper Section V-B) instead
+  /// of a uniform architectural flip (which mostly lands in dead registers
+  /// and masks).  0.5 reproduces the paper's manifestation rate of
+  /// roughly 17,700 of 30,000 injections.
+  double activation_bias = 0.5;
+  /// Fault-free activations executed before the first injection, so the
+  /// machine is warm ("regions when applications are running", V-B).
+  int warmup_activations = 32;
+  /// Fault-free activations between consecutive injections.
+  int stream_gap = 2;
+  std::uint64_t seed = 1;
+  int shards = 0;  ///< 0: hardware concurrency
+
+  hv::MicrovisorOptions machine{};
+  XentryConfig xentry{};
+  OutcomeModel outcome{};
+  /// Transition-detection model (empty: no model installed).
+  ml::RuleSet model{};
+  /// Activation source.  Leave `mix` empty to sweep all exit reasons
+  /// uniformly (the classifier-training configuration).
+  wl::WorkloadProfile workload{};
+
+  /// Collect (features, label) samples into CampaignResult::dataset.
+  bool collect_dataset = false;
+};
+
+struct CampaignResult {
+  std::vector<InjectionRecord> records;
+  /// Labelled samples: golden runs (Correct) + faulted runs that reached
+  /// VM entry (Incorrect when the control-flow trace diverged).
+  ml::Dataset dataset{std::vector<std::string>{"VMER", "RT", "BR", "RM",
+                                               "WM"}};
+};
+
+/// Runs the campaign.  Deterministic per (config.seed, shard count).
+CampaignResult run_campaign(const CampaignConfig& config);
+
+/// A workload profile that sweeps every exit reason uniformly.
+wl::WorkloadProfile uniform_sweep_profile();
+
+}  // namespace xentry::fault

@@ -1,0 +1,292 @@
+#include "fault/experiment.hpp"
+
+#include <stdexcept>
+
+#include "sim/splitmix.hpp"
+
+namespace xentry::fault {
+
+namespace L = hv::layout;
+
+InjectionExperiment::InjectionExperiment(hv::Machine& golden,
+                                         hv::Machine& faulty, Xentry& xentry,
+                                         const OutcomeModel& model)
+    : golden_(golden), faulty_(faulty), xentry_(xentry), model_(model) {
+  if (golden.num_domains() != faulty.num_domains() ||
+      golden.num_vcpus() != faulty.num_vcpus()) {
+    throw std::invalid_argument(
+        "InjectionExperiment: machines differ in configuration");
+  }
+}
+
+hv::Injection InjectionExperiment::draw_injection(
+    std::mt19937_64& rng, std::uint64_t golden_steps) {
+  hv::Injection inj;
+  std::uniform_int_distribution<std::uint64_t> step(
+      0, golden_steps > 0 ? golden_steps - 1 : 0);
+  std::uniform_int_distribution<int> reg(0, sim::kNumArchRegs - 1);
+  std::uniform_int_distribution<int> bit(0, sim::kBitsPerReg - 1);
+  inj.at_step = step(rng);
+  inj.reg = static_cast<sim::Reg>(reg(rng));
+  inj.bit = bit(rng);
+  return inj;
+}
+
+void InjectionExperiment::advance(const hv::Activation& activation) {
+  golden_.run(activation);
+  faulty_.restore(golden_.snapshot());
+}
+
+std::uint64_t InjectionExperiment::measure_golden_steps(
+    const hv::Activation& activation) {
+  const hv::Machine::Snapshot snap = golden_.snapshot();
+  const hv::RunResult res = golden_.run(activation);
+  golden_.restore(snap);
+  return res.steps;
+}
+
+InjectionExperiment::GoldenProbe InjectionExperiment::probe_golden(
+    const hv::Activation& activation) {
+  GoldenProbe probe;
+  const hv::Machine::Snapshot snap = golden_.snapshot();
+  hv::RunOptions opts;
+  opts.trace = &probe.trace;
+  const hv::RunResult res = golden_.run(activation, opts);
+  probe.steps = res.steps;
+  golden_.restore(snap);
+  return probe;
+}
+
+hv::Injection InjectionExperiment::draw_activated_injection(
+    std::mt19937_64& rng, const std::vector<sim::Addr>& golden_trace,
+    const sim::Program& program) {
+  hv::Injection inj;
+  std::uniform_int_distribution<std::uint64_t> step(
+      0, golden_trace.empty() ? 0 : golden_trace.size() - 1);
+  std::uniform_int_distribution<int> bit(0, sim::kBitsPerReg - 1);
+  inj.bit = bit(rng);
+  if (golden_trace.empty()) return inj;
+  inj.at_step = step(rng);
+  const sim::Instruction& insn = program.at(golden_trace[inj.at_step]);
+  // Candidate registers: whatever the instruction reads, plus rip (whose
+  // flip the next fetch consumes unconditionally).
+  std::uint32_t mask = sim::regs_read(insn) | sim::reg_bit(sim::Reg::rip);
+  std::vector<sim::Reg> candidates;
+  for (int r = 0; r < sim::kNumArchRegs; ++r) {
+    if (mask & (1u << r)) candidates.push_back(static_cast<sim::Reg>(r));
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+  inj.reg = candidates[pick(rng)];
+  return inj;
+}
+
+InjectionExperiment::Result InjectionExperiment::run_one(
+    const hv::Activation& activation, const hv::Injection& injection) {
+  Result out;
+  InjectionRecord& rec = out.record;
+  rec.reason = activation.reason;
+  rec.activation_seed = activation.seed;
+  rec.vcpu = activation.vcpu;
+  rec.injection = injection;
+
+  // Align the faulted machine with the golden machine's pre-run state.
+  const hv::Machine::Snapshot pre = golden_.snapshot();
+  faulty_.restore(pre);
+
+  // Golden run (with trace).
+  std::vector<sim::Addr> golden_trace;
+  hv::RunOptions gopts;
+  gopts.trace = &golden_trace;
+  const hv::RunResult gres = golden_.run(activation, gopts);
+  out.golden_ok = gres.reached_vm_entry;
+  out.golden_features =
+      FeatureVector::from(activation.reason, gres.counters);
+  last_golden_steps_ = gres.steps;
+
+  // Faulted run under Xentry interception.
+  std::vector<sim::Addr> fault_trace;
+  hv::RunOptions fopts;
+  fopts.trace = &fault_trace;
+  fopts.injection = &injection;
+  const Observation obs = xentry_.observe(faulty_, activation, fopts);
+
+  rec.injected = obs.run.injected;
+  rec.activated = obs.run.activated;
+  rec.features = obs.features;
+  rec.trap = obs.run.trap.kind;
+  rec.assert_id = obs.run.trap.aux;
+  rec.trace_diverged = fault_trace != golden_trace;
+
+  if (!rec.activated) {
+    // Non-activated faults never affect correctness (Section V-B).
+    rec.consequence = Consequence::Masked;
+    return out;
+  }
+
+  if (!obs.run.reached_vm_entry) {
+    rec.consequence = obs.run.trap.kind == sim::TrapKind::Watchdog
+                          ? Consequence::HypervisorHang
+                          : Consequence::HypervisorCrash;
+  } else {
+    const auto diffs = consumed_diffs(
+        hv::Machine::diff_persistent_state(golden_, faulty_), activation,
+        injection);
+    rec.consequence = classify_consequence(diffs);
+    rec.undetected = UndetectedClass::NotApplicable;
+    if (rec.consequence != Consequence::Masked) {
+      // Fill in the would-be escape class now; cleared below if detected.
+      rec.undetected = classify_undetected(rec, diffs, fault_trace);
+    }
+  }
+
+  rec.detected = obs.detected;
+  rec.technique = obs.technique;
+  if (rec.detected) {
+    rec.undetected = UndetectedClass::NotApplicable;
+    rec.latency = obs.detection_step >= obs.run.activation_step
+                      ? obs.detection_step - obs.run.activation_step
+                      : 0;
+  }
+  return out;
+}
+
+std::vector<hv::StateDiff> InjectionExperiment::consumed_diffs(
+    const std::vector<hv::StateDiff>& diffs, const hv::Activation& act,
+    const hv::Injection& inj) const {
+  sim::SplitMix64 sm(act.seed ^ (inj.at_step << 24) ^
+                     (static_cast<std::uint64_t>(inj.reg) << 16) ^
+                     static_cast<std::uint64_t>(inj.bit));
+  auto keep = [&](double p) {
+    return static_cast<double>(sm.next()) <
+           p * 18446744073709551616.0;  // p * 2^64
+  };
+  std::vector<hv::StateDiff> out;
+  out.reserve(diffs.size());
+  for (hv::StateDiff d : diffs) {
+    double p = 1.0;
+    switch (d.cls) {
+      case L::OutputClass::AppData:
+        p = model_.app_consume_probability;
+        break;
+      case L::OutputClass::AppPointer:
+        p = model_.app_consume_probability;
+        // Wrong translations only sometimes fault; the rest silently read
+        // or write the wrong frame (data corruption).
+        if (!keep(model_.pointer_crash_fraction)) {
+          d.cls = L::OutputClass::AppData;
+        }
+        break;
+      case L::OutputClass::TimeValue:
+        p = model_.time_consume_probability;
+        break;
+      case L::OutputClass::GuestKernelData:
+        p = model_.kernel_consume_probability;
+        break;
+      case L::OutputClass::HvGlobal:
+        p = model_.hv_consume_probability;
+        break;
+      case L::OutputClass::GuestControl:
+        break;  // always consumed: the VM resumes into this state
+    }
+    if (keep(p)) out.push_back(d);
+  }
+  return out;
+}
+
+Consequence InjectionExperiment::classify_consequence(
+    const std::vector<hv::StateDiff>& diffs) const {
+  if (diffs.empty()) return Consequence::Masked;
+  // Corruption confined to time values is transient clock skew for the
+  // affected domain: a VM-level disturbance (timeouts, scheduling drift),
+  // not an application output corruption.
+  bool only_time = true;
+  for (const hv::StateDiff& d : diffs) {
+    if (d.cls != L::OutputClass::TimeValue) {
+      only_time = false;
+      break;
+    }
+  }
+  if (only_time) return Consequence::OneVmFailure;
+
+  // Corrupted guest control state (rip/rsp/rflags) crashes the VM the
+  // moment it resumes — it dominates everything else.  Otherwise classify
+  // by where the bulk of the consumed corruption sits: kernel-level
+  // corruption fails the VM (the control VM takes the whole system down,
+  // Section II), application-level corruption crashes or silently
+  // corrupts the app.
+  bool control = false, control_dom0 = false;
+  std::size_t kernel = 0, kernel_dom0 = 0, app = 0, app_crash = 0;
+  for (const hv::StateDiff& d : diffs) {
+    switch (d.cls) {
+      case L::OutputClass::GuestControl:
+        control = true;
+        control_dom0 |= d.domain == 0;
+        break;
+      case L::OutputClass::HvGlobal:
+        ++kernel;
+        ++kernel_dom0;
+        break;
+      case L::OutputClass::GuestKernelData:
+        ++kernel;
+        kernel_dom0 += d.domain == 0 ? 1 : 0;
+        break;
+      case L::OutputClass::AppPointer:
+        ++app;
+        ++app_crash;
+        break;
+      case L::OutputClass::AppData:
+      case L::OutputClass::TimeValue:
+        ++app;
+        break;
+    }
+  }
+  if (control) {
+    return control_dom0 ? Consequence::AllVmFailure
+                        : Consequence::OneVmFailure;
+  }
+  if (kernel >= app) {
+    if (kernel == 0) return Consequence::Masked;  // unreachable guard
+    return kernel_dom0 > 0 ? Consequence::AllVmFailure
+                           : Consequence::OneVmFailure;
+  }
+  return app_crash > 0 ? Consequence::AppCrash : Consequence::AppSdc;
+}
+
+UndetectedClass InjectionExperiment::classify_undetected(
+    const InjectionRecord& rec, const std::vector<hv::StateDiff>& diffs,
+    const std::vector<sim::Addr>& fault_trace) const {
+  // All corruption confined to time-related values?
+  bool all_time = !diffs.empty();
+  for (const hv::StateDiff& d : diffs) {
+    if (d.cls != L::OutputClass::TimeValue) {
+      all_time = false;
+      break;
+    }
+  }
+  if (all_time) return UndetectedClass::TimeValues;
+
+  // Corruption that travelled through the stack: the flipped register was
+  // the stack pointer, or the fault activated at a stack operation.
+  if (rec.injection.reg == sim::Reg::rsp) return UndetectedClass::StackValues;
+  const std::uint64_t astep = rec.injection.at_step <= fault_trace.size()
+                                  ? rec.injection.at_step
+                                  : 0;
+  for (std::uint64_t i = astep;
+       i < fault_trace.size() && i < astep + 4; ++i) {
+    const sim::Opcode op =
+        golden_.microvisor().program.contains(fault_trace[i])
+            ? golden_.microvisor().program.at(fault_trace[i]).op
+            : sim::Opcode::Nop;
+    if (op == sim::Opcode::Push || op == sim::Opcode::Pop ||
+        op == sim::Opcode::Call || op == sim::Opcode::Ret) {
+      return UndetectedClass::StackValues;
+    }
+  }
+
+  // A diverged control flow the transition detector judged correct is a
+  // classifier miss; pure data corruption gives it nothing to see.
+  return rec.trace_diverged ? UndetectedClass::MisClassified
+                            : UndetectedClass::OtherValues;
+}
+
+}  // namespace xentry::fault

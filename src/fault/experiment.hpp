@@ -1,0 +1,117 @@
+// Single-injection experiment: golden run vs faulted run.
+//
+// Mirrors the paper's Simics methodology (Section V-A/B): the same
+// activation is executed twice from an identical machine state — once
+// clean (the golden run), once with a single-bit architectural-register
+// flip at a uniformly chosen dynamic instruction — and the outcomes are
+// compared: control-flow trace, final persistent state, and detection
+// verdicts from the Xentry framework.
+#pragma once
+
+#include <random>
+
+#include "fault/outcome.hpp"
+#include "hv/machine.hpp"
+#include "ml/dataset.hpp"
+#include "xentry/framework.hpp"
+
+namespace xentry::fault {
+
+/// Models whether corrupted state is ever *consumed* downstream.
+///
+/// The paper determines consequences by letting applications run to
+/// completion on Simics; a single corrupted guest-visible word frequently
+/// masks at the application level (never read, or overwritten).  We do not
+/// run real guests, so consumption is drawn per corrupted word,
+/// deterministically per experiment: application-facing words matter with
+/// `app_consume_probability` each, guest-kernel words with
+/// `kernel_consume_probability`; control state and hypervisor-internal
+/// state always matter.  See DESIGN.md (substitution table).
+struct OutcomeModel {
+  double app_consume_probability = 0.10;
+  double kernel_consume_probability = 0.15;
+  /// Guests read the published clock constantly (gettimeofday, scheduler
+  /// ticks), so corrupted time values are consumed far more often than
+  /// ordinary data — which is why they dominate the paper's Table II.
+  double time_consume_probability = 0.85;
+  /// Much hypervisor-internal state is self-healing (scheduler cursors and
+  /// runqueues are rewritten every pass, pending masks are re-derived), so
+  /// a corrupted word only manifests if something reads it first.
+  double hv_consume_probability = 0.30;
+  /// A consumed corrupted pointer/translation either faults when the app
+  /// dereferences it (crash) or silently resolves to the wrong frame and
+  /// feeds wrong data into the computation (SDC).
+  double pointer_crash_fraction = 0.35;
+};
+
+class InjectionExperiment {
+ public:
+  /// Both machines must be built with identical options.  `xentry` owns
+  /// the detection configuration (and the trained model, if any).
+  InjectionExperiment(hv::Machine& golden, hv::Machine& faulty,
+                      Xentry& xentry, const OutcomeModel& model = {});
+
+  /// Draws a uniform single-bit register flip at a dynamic instruction
+  /// within `golden_steps` — the raw architectural fault model.
+  static hv::Injection draw_injection(std::mt19937_64& rng,
+                                      std::uint64_t golden_steps);
+
+  /// Draws a flip biased toward *activated* faults (paper Section V-B:
+  /// "only soft errors occurring before reading registers can be
+  /// activated"): the injection point is uniform over the golden trace and
+  /// the register is chosen among those the upcoming instruction reads
+  /// (rip is always a candidate — a flipped rip is consumed by the next
+  /// fetch).
+  static hv::Injection draw_activated_injection(
+      std::mt19937_64& rng, const std::vector<sim::Addr>& golden_trace,
+      const sim::Program& program);
+
+  struct Result {
+    InjectionRecord record;
+    FeatureVector golden_features;  ///< a labelled-correct training sample
+    bool golden_ok = false;  ///< golden run reached VM entry (sanity)
+  };
+
+  /// Runs one experiment.  Both machines start from the golden machine's
+  /// current state and end in their respective post-run states, so a
+  /// stream of calls naturally advances along the golden path.
+  Result run_one(const hv::Activation& activation,
+                 const hv::Injection& injection);
+
+  /// Runs the activation fault-free on both machines (keeps them in
+  /// lock-step between experiments).
+  void advance(const hv::Activation& activation);
+
+  /// Steps of the most recent golden run (for drawing injection points).
+  std::uint64_t last_golden_steps() const { return last_golden_steps_; }
+
+  /// Runs the activation clean once (on a scratch state) just to measure
+  /// its dynamic length, restoring state afterwards.
+  std::uint64_t measure_golden_steps(const hv::Activation& activation);
+
+  /// Like measure_golden_steps but also captures the control-flow trace
+  /// (for activated-biased injection draws).
+  struct GoldenProbe {
+    std::uint64_t steps = 0;
+    std::vector<sim::Addr> trace;
+  };
+  GoldenProbe probe_golden(const hv::Activation& activation);
+
+ private:
+  std::vector<hv::StateDiff> consumed_diffs(
+      const std::vector<hv::StateDiff>& diffs, const hv::Activation& act,
+      const hv::Injection& inj) const;
+  Consequence classify_consequence(
+      const std::vector<hv::StateDiff>& diffs) const;
+  UndetectedClass classify_undetected(
+      const InjectionRecord& rec, const std::vector<hv::StateDiff>& diffs,
+      const std::vector<sim::Addr>& fault_trace) const;
+
+  hv::Machine& golden_;
+  hv::Machine& faulty_;
+  Xentry& xentry_;
+  OutcomeModel model_;
+  std::uint64_t last_golden_steps_ = 0;
+};
+
+}  // namespace xentry::fault

@@ -1,0 +1,29 @@
+#include "fault/outcome.hpp"
+
+namespace xentry::fault {
+
+std::string_view consequence_name(Consequence c) {
+  switch (c) {
+    case Consequence::Masked: return "masked";
+    case Consequence::HypervisorCrash: return "hypervisor_crash";
+    case Consequence::HypervisorHang: return "hypervisor_hang";
+    case Consequence::AllVmFailure: return "all_vm_failure";
+    case Consequence::OneVmFailure: return "one_vm_failure";
+    case Consequence::AppCrash: return "app_crash";
+    case Consequence::AppSdc: return "app_sdc";
+  }
+  return "?";
+}
+
+std::string_view undetected_class_name(UndetectedClass c) {
+  switch (c) {
+    case UndetectedClass::NotApplicable: return "n/a";
+    case UndetectedClass::MisClassified: return "mis_classify";
+    case UndetectedClass::StackValues: return "stack_values";
+    case UndetectedClass::TimeValues: return "time_values";
+    case UndetectedClass::OtherValues: return "other_values";
+  }
+  return "?";
+}
+
+}  // namespace xentry::fault

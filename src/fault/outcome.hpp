@@ -1,0 +1,88 @@
+// Fault-outcome taxonomy, mirroring the paper's evaluation vocabulary.
+//
+// Section II separates *short latency* errors (contained in host mode:
+// hypervisor crash/hang before VM entry) from *long latency* errors
+// (propagating across VM entry).  Section V-E refines the long-latency
+// consequences into one-VM failure, all-VM failure, APP crash and APP SDC;
+// Section VI's Table II categorizes the undetected residue.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hv/machine.hpp"
+#include "xentry/framework.hpp"
+
+namespace xentry::fault {
+
+enum class Consequence : std::uint8_t {
+  /// Non-activated or benign: no failure, no corruption.
+  Masked = 0,
+  /// Short-latency: a host-mode trap would halt the hypervisor.
+  HypervisorCrash,
+  /// Short-latency: the hypervisor hung (watchdog budget exhausted).
+  HypervisorHang,
+  /// Long-latency: hypervisor-internal or Dom0 state corrupted; every VM
+  /// is affected.
+  AllVmFailure,
+  /// Long-latency: one guest's control state or kernel data corrupted.
+  OneVmFailure,
+  /// Long-latency: an application-visible pointer corrupted; the app
+  /// crashes (segfault-class).
+  AppCrash,
+  /// Long-latency: application-visible data silently corrupted; the app
+  /// completes with wrong results.  The hardest class (Section V-E).
+  AppSdc,
+};
+
+std::string_view consequence_name(Consequence c);
+
+/// True for consequences that crossed VM entry (the paper's long-latency
+/// errors, Fig. 9's population).
+constexpr bool is_long_latency(Consequence c) {
+  return c == Consequence::AllVmFailure || c == Consequence::OneVmFailure ||
+         c == Consequence::AppCrash || c == Consequence::AppSdc;
+}
+
+/// True for errors that manifested at all (Fig. 8's population: the
+/// ~17,700 of 30,000 injections that caused failures or corruption).
+constexpr bool is_manifested(Consequence c) {
+  return c != Consequence::Masked;
+}
+
+/// Why an undetected fault escaped (Table II).
+enum class UndetectedClass : std::uint8_t {
+  NotApplicable = 0,  ///< detected, or masked
+  MisClassified,      ///< transition detector saw it and judged it correct
+  StackValues,        ///< corruption travelled through stack values
+  TimeValues,         ///< corruption only in time-related values
+  OtherValues,        ///< other pure-data corruption
+};
+
+std::string_view undetected_class_name(UndetectedClass c);
+
+/// Complete record of one injection experiment.
+struct InjectionRecord {
+  hv::ExitReason reason;
+  std::uint64_t activation_seed = 0;
+  int vcpu = 0;
+  hv::Injection injection;
+
+  bool injected = false;
+  bool activated = false;
+  Consequence consequence = Consequence::Masked;
+
+  bool detected = false;
+  Technique technique = Technique::None;
+  /// Dynamic instructions between error activation and detection.
+  std::uint64_t latency = 0;
+
+  sim::TrapKind trap = sim::TrapKind::None;
+  std::uint32_t assert_id = 0;
+  bool trace_diverged = false;
+  UndetectedClass undetected = UndetectedClass::NotApplicable;
+
+  FeatureVector features;
+};
+
+}  // namespace xentry::fault

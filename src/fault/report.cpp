@@ -1,0 +1,70 @@
+#include "fault/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "fault/stats.hpp"
+
+namespace xentry::fault {
+
+void write_records_csv(std::ostream& os,
+                       const std::vector<InjectionRecord>& records) {
+  os << "reason,reason_code,seed,vcpu,at_step,reg,bit,injected,activated,"
+        "consequence,detected,technique,latency,trap,assert_id,"
+        "trace_diverged,undetected_class,vmer,rt,br,rm,wm\n";
+  for (const InjectionRecord& r : records) {
+    os << hv::handler_symbol(r.reason) << ',' << r.reason.code() << ','
+       << r.activation_seed << ',' << r.vcpu << ',' << r.injection.at_step
+       << ',' << sim::reg_name(r.injection.reg) << ',' << r.injection.bit
+       << ',' << (r.injected ? 1 : 0) << ',' << (r.activated ? 1 : 0) << ','
+       << consequence_name(r.consequence) << ',' << (r.detected ? 1 : 0)
+       << ',' << technique_name(r.technique) << ',' << r.latency << ','
+       << sim::trap_name(r.trap) << ',' << r.assert_id << ','
+       << (r.trace_diverged ? 1 : 0) << ','
+       << undetected_class_name(r.undetected) << ',' << r.features.vmer
+       << ',' << r.features.rt << ',' << r.features.br << ','
+       << r.features.rm << ',' << r.features.wm << '\n';
+  }
+}
+
+std::string summarize(const std::vector<InjectionRecord>& records) {
+  std::ostringstream os;
+  const CoverageBreakdown cov = coverage_breakdown(records);
+  os << "injections: " << records.size() << ", manifested: "
+     << cov.manifested;
+  if (!records.empty()) {
+    os << " (" << 100.0 * static_cast<double>(cov.manifested) /
+                     static_cast<double>(records.size())
+       << "%)";
+  }
+  os << "\ncoverage: " << 100.0 * cov.coverage()
+     << "%  [hw " << 100.0 * cov.share(cov.hw_exception) << "%, sw "
+     << 100.0 * cov.share(cov.sw_assertion) << "%, vmt "
+     << 100.0 * cov.share(cov.vm_transition) << "%";
+  if (cov.stack_redundancy > 0) {
+    os << ", stack " << 100.0 * cov.share(cov.stack_redundancy) << "%";
+  }
+  os << ", undetected " << 100.0 * cov.share(cov.undetected) << "%]\n";
+
+  os << "consequences:";
+  for (const auto& [c, n] : consequence_histogram(records)) {
+    os << ' ' << consequence_name(c) << '=' << n;
+  }
+  os << '\n';
+
+  const UndetectedBreakdown und = undetected_breakdown(records);
+  if (und.total > 0) {
+    os << "undetected classes: mis=" << und.mis_classified
+       << " stack=" << und.stack_values << " time=" << und.time_values
+       << " other=" << und.other_values << '\n';
+  }
+
+  for (auto& [tech, lats] : latency_by_technique(records)) {
+    os << technique_name(tech) << " latency p50/p95: "
+       << latency_percentile(lats, 50) << '/' << latency_percentile(lats, 95)
+       << " instructions (" << lats.size() << " detections)\n";
+  }
+  return os.str();
+}
+
+}  // namespace xentry::fault

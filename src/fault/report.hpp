@@ -1,0 +1,25 @@
+// Campaign reporting: CSV export of raw injection records and a
+// human-readable summary, so campaigns can feed external analysis (R,
+// pandas, spreadsheets) and logs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fault/outcome.hpp"
+
+namespace xentry::fault {
+
+/// Writes one row per record.  Columns:
+///   reason,reason_code,seed,vcpu,at_step,reg,bit,injected,activated,
+///   consequence,detected,technique,latency,trap,assert_id,
+///   trace_diverged,undetected_class,vmer,rt,br,rm,wm
+void write_records_csv(std::ostream& os,
+                       const std::vector<InjectionRecord>& records);
+
+/// Multi-section text summary: manifestation, coverage by technique,
+/// consequence histogram, undetected classes, latency percentiles.
+std::string summarize(const std::vector<InjectionRecord>& records);
+
+}  // namespace xentry::fault

@@ -1,0 +1,108 @@
+#include "fault/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xentry::fault {
+
+CoverageBreakdown coverage_breakdown(
+    const std::vector<InjectionRecord>& records) {
+  CoverageBreakdown out;
+  for (const InjectionRecord& r : records) {
+    if (!is_manifested(r.consequence)) continue;
+    ++out.manifested;
+    if (!r.detected) {
+      ++out.undetected;
+      continue;
+    }
+    switch (r.technique) {
+      case Technique::HardwareException: ++out.hw_exception; break;
+      case Technique::SoftwareAssertion: ++out.sw_assertion; break;
+      case Technique::VmTransition: ++out.vm_transition; break;
+      case Technique::StackRedundancy: ++out.stack_redundancy; break;
+      case Technique::None: ++out.undetected; break;
+    }
+  }
+  return out;
+}
+
+std::vector<LongLatencyRow> long_latency_breakdown(
+    const std::vector<InjectionRecord>& records) {
+  // Fig. 9's column order: APP SDC, APP crash, all-VM, one-VM.
+  const std::array<Consequence, 4> order = {
+      Consequence::AppSdc, Consequence::AppCrash, Consequence::AllVmFailure,
+      Consequence::OneVmFailure};
+  std::vector<LongLatencyRow> rows;
+  for (Consequence c : order) {
+    LongLatencyRow row;
+    row.consequence = c;
+    for (const InjectionRecord& r : records) {
+      if (r.consequence != c) continue;
+      ++row.total;
+      row.detected += r.detected ? 1 : 0;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::map<Technique, std::vector<std::uint64_t>> latency_by_technique(
+    const std::vector<InjectionRecord>& records) {
+  std::map<Technique, std::vector<std::uint64_t>> out;
+  for (const InjectionRecord& r : records) {
+    if (!r.detected || !r.activated) continue;
+    out[r.technique].push_back(r.latency);
+  }
+  return out;
+}
+
+std::vector<double> latency_cdf(std::vector<std::uint64_t> latencies,
+                                const std::vector<std::uint64_t>& points) {
+  std::sort(latencies.begin(), latencies.end());
+  std::vector<double> cdf;
+  cdf.reserve(points.size());
+  for (std::uint64_t p : points) {
+    const auto it =
+        std::upper_bound(latencies.begin(), latencies.end(), p);
+    cdf.push_back(latencies.empty()
+                      ? 0.0
+                      : static_cast<double>(it - latencies.begin()) /
+                            static_cast<double>(latencies.size()));
+  }
+  return cdf;
+}
+
+std::uint64_t latency_percentile(std::vector<std::uint64_t> latencies,
+                                 double pct) {
+  if (latencies.empty()) return 0;
+  std::sort(latencies.begin(), latencies.end());
+  const double rank = pct / 100.0 * static_cast<double>(latencies.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(rank));
+  return latencies[std::min(idx, latencies.size() - 1)];
+}
+
+UndetectedBreakdown undetected_breakdown(
+    const std::vector<InjectionRecord>& records) {
+  UndetectedBreakdown out;
+  for (const InjectionRecord& r : records) {
+    if (!is_manifested(r.consequence) || r.detected) continue;
+    ++out.total;
+    switch (r.undetected) {
+      case UndetectedClass::MisClassified: ++out.mis_classified; break;
+      case UndetectedClass::StackValues: ++out.stack_values; break;
+      case UndetectedClass::TimeValues: ++out.time_values; break;
+      case UndetectedClass::OtherValues: ++out.other_values; break;
+      case UndetectedClass::NotApplicable: break;  // hypervisor crash/hang
+    }
+  }
+  return out;
+}
+
+std::map<Consequence, std::size_t> consequence_histogram(
+    const std::vector<InjectionRecord>& records) {
+  std::map<Consequence, std::size_t> out;
+  for (const InjectionRecord& r : records) ++out[r.consequence];
+  return out;
+}
+
+}  // namespace xentry::fault

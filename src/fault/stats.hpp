@@ -1,0 +1,87 @@
+// Campaign aggregation: the statistics behind Figs. 8, 9, 10 and Table II.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/outcome.hpp"
+
+namespace xentry::fault {
+
+/// Fig. 8: share of manifested errors per detection technique.
+struct CoverageBreakdown {
+  std::size_t manifested = 0;   ///< injections that caused failure/corruption
+  std::size_t hw_exception = 0;
+  std::size_t sw_assertion = 0;
+  std::size_t vm_transition = 0;
+  std::size_t stack_redundancy = 0;  ///< extension technique, 0 by default
+  std::size_t undetected = 0;
+
+  double coverage() const {
+    return manifested == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(undetected) /
+                           static_cast<double>(manifested);
+  }
+  double share(std::size_t n) const {
+    return manifested == 0
+               ? 0.0
+               : static_cast<double>(n) / static_cast<double>(manifested);
+  }
+};
+
+CoverageBreakdown coverage_breakdown(
+    const std::vector<InjectionRecord>& records);
+
+/// Fig. 9: per-consequence detection rates among long-latency errors.
+struct LongLatencyRow {
+  Consequence consequence = Consequence::AppSdc;
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  double rate() const {
+    return total == 0
+               ? 0.0
+               : static_cast<double>(detected) / static_cast<double>(total);
+  }
+};
+
+std::vector<LongLatencyRow> long_latency_breakdown(
+    const std::vector<InjectionRecord>& records);
+
+/// Fig. 10: detection latencies (instructions) grouped per technique.
+std::map<Technique, std::vector<std::uint64_t>> latency_by_technique(
+    const std::vector<InjectionRecord>& records);
+
+/// Empirical CDF: fraction of `latencies` <= x for each x in `points`.
+std::vector<double> latency_cdf(std::vector<std::uint64_t> latencies,
+                                const std::vector<std::uint64_t>& points);
+
+/// Percentile (0..100) of a latency sample; 0 for empty input.
+std::uint64_t latency_percentile(std::vector<std::uint64_t> latencies,
+                                 double pct);
+
+/// Table II: distribution of undetected manifested errors by escape class.
+struct UndetectedBreakdown {
+  std::size_t total = 0;
+  std::size_t mis_classified = 0;
+  std::size_t stack_values = 0;
+  std::size_t time_values = 0;
+  std::size_t other_values = 0;
+
+  double share(std::size_t n) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(n) / static_cast<double>(total);
+  }
+};
+
+UndetectedBreakdown undetected_breakdown(
+    const std::vector<InjectionRecord>& records);
+
+/// Count of records per consequence class (general-purpose reporting).
+std::map<Consequence, std::size_t> consequence_histogram(
+    const std::vector<InjectionRecord>& records);
+
+}  // namespace xentry::fault

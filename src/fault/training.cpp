@@ -1,0 +1,59 @@
+#include "fault/training.hpp"
+
+#include <stdexcept>
+
+namespace xentry::fault {
+
+ml::Dataset oversample_incorrect(const ml::Dataset& data,
+                                 double target_fraction) {
+  if (target_fraction <= 0.0 || target_fraction >= 1.0) return data;
+  const std::size_t incorrect = data.count(ml::Label::Incorrect);
+  const std::size_t correct = data.size() - incorrect;
+  if (incorrect == 0 || correct == 0) return data;
+
+  // Solve (incorrect * k) / (correct + incorrect * k) >= target.
+  const double k = target_fraction * static_cast<double>(correct) /
+                   ((1.0 - target_fraction) * static_cast<double>(incorrect));
+  const auto copies = static_cast<std::size_t>(k);
+  if (copies <= 1) return data;
+
+  ml::Dataset out(data.feature_names());
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    const std::size_t reps =
+        data.label(r) == ml::Label::Incorrect ? copies : 1;
+    for (std::size_t c = 0; c < reps; ++c) out.add(data.row(r), data.label(r));
+  }
+  return out;
+}
+
+TrainedDetector train_detector(const ml::Dataset& samples,
+                               const TrainingOptions& options) {
+  if (samples.empty()) {
+    throw std::invalid_argument("train_detector: no samples");
+  }
+  auto [train, test] = samples.split(options.train_fraction, options.seed);
+  if (train.empty() || test.empty()) {
+    throw std::invalid_argument("train_detector: degenerate split");
+  }
+  const ml::Dataset balanced =
+      oversample_incorrect(train, options.incorrect_target_fraction);
+
+  ml::TreeParams params;
+  if (options.random_tree) {
+    params = ml::random_tree_params(samples.num_features(), options.seed);
+  } else {
+    params.seed = options.seed;
+  }
+
+  TrainedDetector out;
+  out.tree.train(balanced, params);
+  out.rules = ml::RuleSet::compile(out.tree);
+  out.test_eval = ml::evaluate(
+      test, [&](auto row) { return out.tree.predict(row); });
+  out.train_samples = balanced.size();
+  out.train_incorrect = balanced.count(ml::Label::Incorrect);
+  out.test_samples = test.size();
+  return out;
+}
+
+}  // namespace xentry::fault

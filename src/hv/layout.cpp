@@ -1,0 +1,117 @@
+#include "hv/layout.hpp"
+
+namespace xentry::hv::layout {
+
+std::string_view output_class_name(OutputClass c) {
+  switch (c) {
+    case OutputClass::HvGlobal: return "hv_global";
+    case OutputClass::GuestControl: return "guest_control";
+    case OutputClass::GuestKernelData: return "guest_kernel_data";
+    case OutputClass::AppPointer: return "app_pointer";
+    case OutputClass::AppData: return "app_data";
+    case OutputClass::TimeValue: return "time_value";
+  }
+  return "?";
+}
+
+bool classify_address(Addr a, int num_domains, int num_vcpus,
+                      OutputClass& out, int& domain) {
+  domain = -1;
+
+  if (a >= kHvDataBase && a < kHvDataBase + kHvDataSize) {
+    const auto off = static_cast<std::int64_t>(a - kHvDataBase);
+    // Ephemeral per-pcpu state is not persistent: the guest-context
+    // scratch and device-input latches are rewritten at every VM exit,
+    // and the perfc counters are diagnostics.
+    if (off >= kHvPerfcCounters && off < kHvPerfcCounters + 16) return false;
+    if (off >= kHvScratch && off < kHvScratch + 19) return false;
+    if (off >= kHvMcBanks && off <= kHvNmiReason) return false;
+    if (off == kHvApicEsr || off == kHvThermal) return false;
+    out = (off == kHvSystemTime || off == kHvWallclockSec ||
+           off == kHvTimerDeadline)
+              ? OutputClass::TimeValue
+              : OutputClass::HvGlobal;
+    return true;
+  }
+
+  if (a >= kDomainBase &&
+      a < kDomainBase + static_cast<Addr>(num_domains) * kDomainStride) {
+    domain = static_cast<int>((a - kDomainBase) / kDomainStride);
+    out = OutputClass::HvGlobal;  // domain metadata is hypervisor state
+    const auto off = static_cast<std::int64_t>((a - kDomainBase) %
+                                               kDomainStride);
+    if (off >= kDomGrantTable && off < kDomGrantTable + kNumGrantEntries) {
+      out = OutputClass::GuestKernelData;  // grants are guest-visible
+    }
+    if (off >= kDomEvtchnVcpu && off < kDomEvtchnVcpu + kNumEvtchnPorts) {
+      out = OutputClass::GuestKernelData;
+    }
+    return true;
+  }
+
+  if (a >= kVcpuBase &&
+      a < kVcpuBase + static_cast<Addr>(num_vcpus) * kVcpuStride) {
+    const auto off = static_cast<std::int64_t>((a - kVcpuBase) % kVcpuStride);
+    // Domain resolution for VCPUs happens at the Machine level (it knows
+    // the vcpu->domain mapping); report the vcpu index via `domain` as a
+    // negative sentinel minus index so callers can translate.
+    domain = -2 - static_cast<int>((a - kVcpuBase) / kVcpuStride);
+    if (off == kVcpuSaveRip || off == kVcpuSaveRsp || off == kVcpuSaveRflags) {
+      out = OutputClass::GuestControl;
+    } else if (off >= kVcpuRunstateTime && off <= kVcpuTimeVersion) {
+      out = OutputClass::TimeValue;
+    } else if (off == kVcpuTimerDeadline) {
+      out = OutputClass::TimeValue;
+    } else if (off >= kVcpuTrapTable && off < kVcpuTrapTable + 19) {
+      out = OutputClass::GuestKernelData;
+    } else if (off >= kVcpuGdt && off < kVcpuGdt + 8) {
+      out = OutputClass::GuestKernelData;
+    } else if (off >= kVcpuSaveGprs && off < kVcpuSaveGprs + 16) {
+      out = OutputClass::AppData;  // guest register values
+    } else if (off == kVcpuPendingEvents || off == kVcpuCallback ||
+               off == kVcpuSegBase) {
+      out = OutputClass::GuestKernelData;
+    } else {
+      out = OutputClass::HvGlobal;  // id/domain/state bookkeeping
+    }
+    return true;
+  }
+
+  if (a >= kSharedBase &&
+      a < kSharedBase + static_cast<Addr>(num_domains) * kSharedStride) {
+    domain = static_cast<int>((a - kSharedBase) / kSharedStride);
+    const auto off = static_cast<std::int64_t>((a - kSharedBase) %
+                                               kSharedStride);
+    if (off <= kShTscMul) {
+      out = OutputClass::TimeValue;
+    } else if (off == kShEvtchnPending || off == kShEvtchnMask) {
+      out = OutputClass::GuestKernelData;
+    } else {
+      out = OutputClass::AppData;
+    }
+    return true;
+  }
+
+  if (a >= kGuestRamBase &&
+      a < kGuestRamBase + static_cast<Addr>(num_domains) * kGuestRamStride) {
+    domain = static_cast<int>((a - kGuestRamBase) / kGuestRamStride);
+    const auto off = static_cast<std::int64_t>((a - kGuestRamBase) %
+                                               kGuestRamStride);
+    if (off < kGuestTimeArea) out = OutputClass::AppData;
+    else if (off < kGuestAppPtrs) out = OutputClass::TimeValue;
+    else if (off < kGuestKernData) out = OutputClass::AppPointer;
+    else if (off < kGuestReqBuffer) out = OutputClass::GuestKernelData;
+    else out = OutputClass::AppData;  // request buffers hold app payloads
+    return true;
+  }
+
+  if (a >= kConsoleBase && a < kConsoleBase + kConsoleSize) {
+    domain = 0;  // the console ring belongs to Dom0
+    out = OutputClass::AppData;
+    return true;
+  }
+
+  return false;  // stack, code, unmapped: not persistent state
+}
+
+}  // namespace xentry::hv::layout

@@ -1,0 +1,215 @@
+// Physical-memory layout of the microvisor.
+//
+// All hypervisor-owned and guest-visible structures live at fixed word
+// addresses so that (a) handlers written in the simulated ISA can address
+// them with immediates and registers, and (b) the fault-outcome classifier
+// can map a corrupted address to a semantic class (what the corruption
+// would eventually break), which drives the paper's consequence taxonomy
+// in Fig. 9: one-VM failure, all-VM failure, APP crash, APP SDC.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace xentry::hv::layout {
+
+using sim::Addr;
+
+// ---------------------------------------------------------------------------
+// Region bases.  Chosen sparse: a single bit flip in a pointer register
+// almost always leaves every mapped region (=> #PF), mirroring real 64-bit
+// address-space sparseness.
+// ---------------------------------------------------------------------------
+
+inline constexpr Addr kCodeBase = 0x0000000000400000;
+
+inline constexpr Addr kHvDataBase = 0x0000000000a00000;
+inline constexpr Addr kHvDataSize = 0x200;
+
+inline constexpr Addr kDomainBase = 0x0000000000b00000;
+inline constexpr Addr kDomainStride = 64;
+inline constexpr int kMaxDomains = 8;
+
+inline constexpr Addr kVcpuBase = 0x0000000000c00000;
+inline constexpr Addr kVcpuStride = 64;
+inline constexpr int kMaxVcpus = 16;
+
+inline constexpr Addr kSharedBase = 0x0000000000d00000;
+inline constexpr Addr kSharedStride = 64;  // one shared-info page per domain
+
+inline constexpr Addr kGuestRamBase = 0x0000000000100000;
+inline constexpr Addr kGuestRamStride = 0x400;  // per-domain guest memory
+
+inline constexpr Addr kStackBase = 0x0000000000e00000;
+inline constexpr Addr kStackSize = 0x200;
+inline constexpr Addr kStackTop = kStackBase + kStackSize;
+/// Shadow-stack mirror displacement (shadow word for stack address A lives
+/// at A + kShadowStackOffset); only mapped when the extension is enabled.
+inline constexpr std::int64_t kShadowStackOffset = 0x1000;
+
+inline constexpr Addr kConsoleBase = 0x0000000000f00000;
+inline constexpr Addr kConsoleSize = 0x100;
+
+// ---------------------------------------------------------------------------
+// Hypervisor globals (offsets into the HV data region).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::int64_t kHvCurrentVcpu = 0;   ///< ptr to VCPU struct
+inline constexpr std::int64_t kHvNumDomains = 1;
+inline constexpr std::int64_t kHvNumVcpus = 2;
+inline constexpr std::int64_t kHvSystemTime = 3;    ///< ns since boot
+inline constexpr std::int64_t kHvTscScaleMul = 4;   ///< tsc -> ns multiplier
+inline constexpr std::int64_t kHvTscScaleShift = 5;
+inline constexpr std::int64_t kHvSoftirqPending = 6;  ///< bitmask
+inline constexpr std::int64_t kHvSchedCursor = 7;     ///< round-robin index
+inline constexpr std::int64_t kHvTimerDeadline = 8;
+inline constexpr std::int64_t kHvXenVersion = 9;      ///< major<<16 | minor
+inline constexpr std::int64_t kHvWallclockSec = 10;
+inline constexpr std::int64_t kHvDebugreg = 11;       ///< 8 words (11..18)
+inline constexpr std::int64_t kHvPlatformFlags = 19;
+inline constexpr std::int64_t kHvIrqTable = 0x20;     ///< 16 words: irq -> dom*256+port
+inline constexpr std::int64_t kHvTaskletCount = 0x30;
+inline constexpr std::int64_t kHvTaskletQueue = 0x31; ///< 15 words
+inline constexpr std::int64_t kHvRunqCount = 0x40;
+inline constexpr std::int64_t kHvRunq = 0x41;         ///< kMaxVcpus words
+inline constexpr std::int64_t kHvPerfcCounters = 0x60;///< 16 words of perfc
+inline constexpr std::int64_t kHvScratch = 0x80;      ///< guest-context save (19 words)
+inline constexpr std::int64_t kHvMcBanks = 0x98;      ///< 4 machine-check banks
+inline constexpr std::int64_t kHvIpiArg = 0x9c;       ///< cross-CPU call argument
+inline constexpr std::int64_t kHvNmiReason = 0x9d;
+inline constexpr std::int64_t kHvKexecImage = 0x9e;
+inline constexpr std::int64_t kHvXsmPolicy = 0x9f;
+inline constexpr std::int64_t kHvHypercallTable = 0xa0; ///< 38 body addresses
+inline constexpr std::int64_t kHvConsolePtr = 0xc8;   ///< console ring cursor
+inline constexpr std::int64_t kHvApicEsr = 0xc9;
+inline constexpr std::int64_t kHvThermal = 0xca;
+inline constexpr std::int64_t kHvThrottle = 0xcb;
+
+/// Softirq bit assignments (subset of Xen's).
+inline constexpr std::int64_t kSoftirqTimer = 1 << 0;
+inline constexpr std::int64_t kSoftirqSchedule = 1 << 1;
+inline constexpr std::int64_t kSoftirqTasklet = 1 << 2;
+
+// ---------------------------------------------------------------------------
+// Domain struct fields (offsets within a kDomainStride slot).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::int64_t kDomId = 0;
+inline constexpr std::int64_t kDomState = 1;          ///< 0 ok, 1 crashed
+inline constexpr std::int64_t kDomNumVcpus = 2;
+inline constexpr std::int64_t kDomSharedInfo = 3;     ///< ptr
+inline constexpr std::int64_t kDomTotPages = 4;
+inline constexpr std::int64_t kDomMaxPages = 5;
+inline constexpr std::int64_t kDomIsPrivileged = 6;   ///< 1 for Dom0
+inline constexpr std::int64_t kDomGuestRam = 7;       ///< ptr
+inline constexpr std::int64_t kDomVmAssist = 8;
+inline constexpr std::int64_t kDomGrantCount = 9;
+inline constexpr std::int64_t kDomHvmParams = 10;     ///< 4 words (10..13)
+inline constexpr std::int64_t kDomGrantTable = 16;    ///< 16 words
+inline constexpr std::int64_t kDomEvtchnVcpu = 32;    ///< 16 words: port->vcpu
+
+inline constexpr std::int64_t kNumGrantEntries = 16;
+inline constexpr std::int64_t kNumEvtchnPorts = 16;
+
+// ---------------------------------------------------------------------------
+// VCPU struct fields.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::int64_t kVcpuId = 0;
+inline constexpr std::int64_t kVcpuDomain = 1;        ///< ptr to domain
+inline constexpr std::int64_t kVcpuState = 2;         ///< see VcpuState
+inline constexpr std::int64_t kVcpuSaveGprs = 3;      ///< 16 words rax..r15
+inline constexpr std::int64_t kVcpuSaveRip = 19;
+inline constexpr std::int64_t kVcpuSaveRsp = 20;
+inline constexpr std::int64_t kVcpuSaveRflags = 21;
+inline constexpr std::int64_t kVcpuPendingEvents = 22;
+inline constexpr std::int64_t kVcpuRunstateTime = 23; ///< 4 words (23..26)
+inline constexpr std::int64_t kVcpuTimeVersion = 27;
+inline constexpr std::int64_t kVcpuTimerDeadline = 28;
+inline constexpr std::int64_t kVcpuSegBase = 29;
+inline constexpr std::int64_t kVcpuCallback = 30;     ///< event callback rip
+inline constexpr std::int64_t kVcpuNmiCallback = 31;
+inline constexpr std::int64_t kVcpuTrapTable = 32;    ///< 19 words (32..50)
+inline constexpr std::int64_t kVcpuGdt = 51;          ///< 8 words (51..58)
+
+/// VCPU scheduling states.
+inline constexpr std::int64_t kVcpuStateRunning = 0;
+inline constexpr std::int64_t kVcpuStateBlocked = 1;
+inline constexpr std::int64_t kVcpuStateIdle = 2;
+
+// ---------------------------------------------------------------------------
+// Shared-info page fields (per domain, guest visible).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::int64_t kShVersion = 0;    ///< time version counter
+inline constexpr std::int64_t kShTscStamp = 1;
+inline constexpr std::int64_t kShSystemTime = 2;
+inline constexpr std::int64_t kShWcSec = 3;
+inline constexpr std::int64_t kShWcNsec = 4;
+inline constexpr std::int64_t kShTscMul = 5;
+inline constexpr std::int64_t kShEvtchnPending = 8;
+inline constexpr std::int64_t kShEvtchnMask = 9;
+inline constexpr std::int64_t kShArchFlags = 10;
+
+// ---------------------------------------------------------------------------
+// Guest RAM layout (per domain, offsets within its kGuestRamStride slot).
+// Subranges carry the semantic class of whatever the hypervisor writes
+// there (see OutputClass below).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::int64_t kGuestAppData = 0x000;    ///< 0x000..0x07f
+inline constexpr std::int64_t kGuestTimeArea = 0x080;   ///< 0x080..0x0ff: time
+                                                        ///< values exported to
+                                                        ///< the guest
+inline constexpr std::int64_t kGuestAppPtrs = 0x100;    ///< 0x100..0x1ff
+inline constexpr std::int64_t kGuestKernData = 0x200;   ///< 0x200..0x2ff
+inline constexpr std::int64_t kGuestReqBuffer = 0x300;  ///< 0x300..0x3ff
+
+// Guest kernel-data subareas (offsets within the domain's RAM slot).
+inline constexpr std::int64_t kGuestPageTable = kGuestKernData + 0x00;  ///< 16
+inline constexpr std::int64_t kGuestExcFrame = kGuestKernData + 0x10;   ///< 4
+inline constexpr std::int64_t kGuestPinned = kGuestKernData + 0x14;
+inline constexpr std::int64_t kGuestMmuWindow = kGuestKernData + 0x40;  ///< 64
+
+// ---------------------------------------------------------------------------
+// Address helpers.
+// ---------------------------------------------------------------------------
+
+constexpr Addr domain_addr(int dom) {
+  return kDomainBase + static_cast<Addr>(dom) * kDomainStride;
+}
+constexpr Addr vcpu_addr(int vcpu) {
+  return kVcpuBase + static_cast<Addr>(vcpu) * kVcpuStride;
+}
+constexpr Addr shared_info_addr(int dom) {
+  return kSharedBase + static_cast<Addr>(dom) * kSharedStride;
+}
+constexpr Addr guest_ram_addr(int dom) {
+  return kGuestRamBase + static_cast<Addr>(dom) * kGuestRamStride;
+}
+
+// ---------------------------------------------------------------------------
+// Semantic classification of persistent state, for fault-consequence
+// analysis.  See DESIGN.md Section 5.
+// ---------------------------------------------------------------------------
+
+enum class OutputClass : std::uint8_t {
+  HvGlobal,        ///< hypervisor-internal persistent state
+  GuestControl,    ///< guest rip/rsp/rflags, iret frames
+  GuestKernelData, ///< trap tables, event channels, page mappings
+  AppPointer,      ///< pointers/frame numbers the app dereferences
+  AppData,         ///< plain data values consumed by the app
+  TimeValue,       ///< time-related values (Table II's dominant class)
+};
+
+std::string_view output_class_name(OutputClass c);
+
+/// Classifies a persistent-state address.  `num_domains`/`num_vcpus` bound
+/// the live structures.  Addresses outside every persistent structure
+/// (e.g. the stack) are not guest-visible and return false.
+bool classify_address(Addr a, int num_domains, int num_vcpus,
+                      OutputClass& out, int& domain);
+
+}  // namespace xentry::hv::layout

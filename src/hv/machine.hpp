@@ -1,0 +1,135 @@
+// The virtual platform: one simulated core + memory + the microvisor.
+//
+// Machine is the substrate equivalent of the paper's Simics setup (Section
+// V-A): it boots the microvisor structures, dispatches VM exits to handler
+// entry points, and exposes everything the fault-injection framework and
+// Xentry need — performance counters armed per activation, single-bit
+// register fault injection at a chosen dynamic instruction, control-flow
+// traces, and semantic diffs of persistent state for consequence analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hv/exit_reason.hpp"
+#include "hv/layout.hpp"
+#include "hv/microvisor.hpp"
+#include "sim/cpu.hpp"
+#include "sim/memory.hpp"
+#include "sim/perf_counters.hpp"
+
+namespace xentry::hv {
+
+/// One hypervisor activation: a VM exit with its reason and arguments.
+/// `seed` deterministically synthesizes everything else the handler reads
+/// (request-buffer contents, stale register values, device state).
+struct Activation {
+  ExitReason reason;
+  std::uint64_t arg1 = 0;
+  std::uint64_t arg2 = 0;
+  std::uint64_t arg3 = 0;
+  int vcpu = 0;
+  std::uint64_t seed = 0;
+};
+
+/// The paper's fault model: one single-bit flip in one architectural
+/// register, applied immediately before the dynamic instruction `at_step`.
+struct Injection {
+  std::uint64_t at_step = 0;
+  sim::Reg reg = sim::Reg::rax;
+  int bit = 0;
+};
+
+struct RunOptions {
+  std::uint64_t max_steps = 100000;   ///< watchdog budget
+  const Injection* injection = nullptr;
+  std::vector<sim::Addr>* trace = nullptr;  ///< control-flow trace sink
+  bool arm_counters = true;
+  bool count_assertions = false;  ///< tally executed assertion instructions
+};
+
+struct RunResult {
+  /// True when the handler reached the VM-entry gate (hlt); false when a
+  /// trap ended the execution in host mode.
+  bool reached_vm_entry = false;
+  sim::Trap trap;               ///< valid when !reached_vm_entry
+  sim::PerfSnapshot counters;   ///< the Table I feature counters
+  std::uint64_t steps = 0;
+
+  // Fault bookkeeping (meaningful when an injection was requested).
+  bool injected = false;   ///< the flip actually happened (at_step reached)
+  bool activated = false;  ///< the corrupted register was read afterwards
+  std::uint64_t activation_step = 0;
+  std::uint64_t trap_step = 0;  ///< dynamic index at which the trap fired
+
+  std::uint64_t assertions_executed = 0;  ///< when count_assertions is set
+};
+
+/// One word of persistent state that differs between two runs, with its
+/// semantic classification.
+struct StateDiff {
+  sim::Addr addr = 0;
+  sim::Word golden = 0;
+  sim::Word faulty = 0;
+  layout::OutputClass cls = layout::OutputClass::HvGlobal;
+  int domain = -1;  ///< owning domain, or -1 for system-wide state
+};
+
+class Machine {
+ public:
+  explicit Machine(const MicrovisorOptions& options = {});
+
+  /// Re-initializes all memory to boot state (domains, VCPUs, shared
+  /// pages, tables).  The TSC keeps advancing monotonically.
+  void reset();
+
+  /// Runs one hypervisor activation to VM entry (or to a trap).
+  RunResult run(const Activation& activation, const RunOptions& opts = {});
+
+  /// Synthesizes a *legal* activation of the given reason: arguments and
+  /// derived inputs that a fault-free handler accepts without traps or
+  /// assertion failures.  Workload generators build on this.
+  Activation make_activation(const ExitReason& reason, std::uint64_t seed,
+                             int vcpu = -1) const;
+
+  // -- state management --------------------------------------------------------
+
+  struct Snapshot {
+    std::vector<std::vector<sim::Word>> memory;
+    sim::Word tsc = 0;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+  /// Compares the persistent (guest-visible or hypervisor-retained) state
+  /// of two machines built with identical options.
+  static std::vector<StateDiff> diff_persistent_state(const Machine& golden,
+                                                      const Machine& faulty);
+
+  // -- accessors ------------------------------------------------------------------
+
+  const Microvisor& microvisor() const { return mv_; }
+  sim::Memory& memory() { return mem_; }
+  const sim::Memory& memory() const { return mem_; }
+  sim::Cpu& cpu() { return cpu_; }
+  int num_domains() const { return mv_.options.num_domains; }
+  int num_vcpus() const { return mv_.num_vcpus(); }
+  int domain_of_vcpu(int vcpu) const {
+    return vcpu / mv_.options.vcpus_per_domain;
+  }
+
+  /// Feature names of Table I, in the order the detector consumes them.
+  static const std::vector<std::string>& feature_names();
+
+ private:
+  void map_regions();
+  void init_boot_state();
+  void prepare_inputs(const Activation& activation);
+
+  Microvisor mv_;
+  sim::Memory mem_;
+  sim::Cpu cpu_;
+};
+
+}  // namespace xentry::hv

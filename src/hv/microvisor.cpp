@@ -1,0 +1,1788 @@
+#include "hv/microvisor.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "hv/layout.hpp"
+#include "sim/assembler.hpp"
+
+namespace xentry::hv {
+
+namespace L = layout;
+
+namespace {
+
+using sim::Assembler;
+using R = sim::Reg;
+
+constexpr R rax = R::rax, rbx = R::rbx, rcx = R::rcx, rdx = R::rdx,
+            rsi = R::rsi, rdi = R::rdi, r8 = R::r8, r9 = R::r9, r10 = R::r10,
+            r11 = R::r11, r12 = R::r12, r13 = R::r13, r14 = R::r14,
+            r15 = R::r15, rbp = R::rbp;
+
+/// Emits the complete microvisor text.  One instance per build.
+class Emitter {
+ public:
+  explicit Emitter(const MicrovisorOptions& opt)
+      : opt_(opt), as(L::kCodeBase) {}
+
+  sim::Program emit() {
+    emit_subroutines();
+    emit_irq_softirq_tasklet();
+    emit_apic_handlers();
+    emit_exception_handlers();
+    emit_hypercalls();
+    return as.finish();
+  }
+
+ private:
+  MicrovisorOptions opt_;
+  Assembler as;
+
+  std::int64_t idle_vcpu_addr() const {
+    return static_cast<std::int64_t>(
+        L::vcpu_addr(opt_.num_domains * opt_.vcpus_per_domain));
+  }
+
+  // -- conditional software assertions (the runtime-detection half) --------
+
+  void a_le(R r, std::int64_t imm, std::uint32_t id) {
+    if (opt_.assertions) as.assert_le(r, imm, id);
+  }
+  void a_eq(R r, std::int64_t imm, std::uint32_t id) {
+    if (opt_.assertions) as.assert_eq(r, imm, id);
+  }
+  void a_ne(R r, std::int64_t imm, std::uint32_t id) {
+    if (opt_.assertions) as.assert_ne(r, imm, id);
+  }
+  void a_lt(R a, R b, std::uint32_t id) {
+    if (opt_.assertions) as.assert_lt(a, b, id);
+  }
+
+  // -- structure ------------------------------------------------------------
+
+  /// Emits `sym: call sym_body; jmp ret_to_guest` followed by `sym_body:`.
+  /// `body` must leave the return value in rax and end with ret().
+  void handler(const std::string& sym, const std::function<void()>& body) {
+    as.pad_ud(3);  // inter-function gap: corrupted rip faults realistically
+    as.global(sym);
+    as.call(sym + "_body");
+    as.jmp("ret_to_guest");
+    as.global(sym + "_body");
+    body();
+  }
+
+  // ==========================================================================
+  // Shared subroutines
+  // ==========================================================================
+
+  void emit_subroutines() {
+    // ret_to_guest: the VM-entry tail shared by every handler.  Reloads the
+    // (possibly switched) current VCPU and publishes the handler's return
+    // value as the guest's rax.
+    as.global("ret_to_guest");
+    as.load(r8, rbp, L::kHvCurrentVcpu);
+    // Executed on every VM entry: validate the current pointer before
+    // trusting it (a cheap Listing-2-style condition check).
+    if (opt_.assertions) {
+      as.assert_ge(r8, static_cast<std::int64_t>(L::kVcpuBase),
+                   kAssertCurrentVcpu);
+      as.assert_le(r8, idle_vcpu_addr(), kAssertCurrentVcpu);
+    }
+    as.store(r8, rax, L::kVcpuSaveGprs);
+    // Guest-state validation before entering the guest, as real VM entry
+    // does: a guest rip outside the guest's address space fails the entry
+    // and vectors the guest through its failsafe callback instead.
+    {
+      auto rip_ok = as.make_label();
+      auto failsafe = as.make_label();
+      as.load(rbx, r8, L::kVcpuDomain);
+      as.load(rbx, rbx, L::kDomGuestRam);
+      as.load(rcx, r8, L::kVcpuSaveRip);
+      as.cmp(rcx, rbx);
+      as.jb(failsafe);
+      as.mov(r10, rbx);
+      as.addi(r10, static_cast<std::int64_t>(L::kGuestRamStride));
+      as.cmp(rcx, r10);
+      as.jb(rip_ok);
+      as.bind(failsafe);
+      as.load(r10, r8, L::kVcpuCallback);
+      as.store(r8, r10, L::kVcpuSaveRip);
+      as.load(r10, rbp, L::kHvPerfcCounters + 14);  // failsafe count
+      as.inc(r10);
+      as.store(rbp, r10, L::kHvPerfcCounters + 14);
+      as.bind(rip_ok);
+    }
+    as.hlt();
+    as.pad_ud(3);
+
+    emit_runq_insert();
+    emit_evtchn_set_pending();
+    emit_update_time();
+    emit_schedule();
+    emit_sched_block();
+    emit_inject_guest_event();
+    emit_tasklet_work();
+    emit_softirq_work();
+  }
+
+  // runq_insert: r14 = vcpu index.  Appends to the runqueue unless already
+  // present (Xen's vcpu_wake checks the runqueue the same way).
+  // Clobbers r15, rbx, rcx.
+  void emit_runq_insert() {
+    as.global("runq_insert");
+    as.load(r15, rbp, L::kHvRunqCount);
+    as.movi(rcx, 0);
+    auto scan = as.here();
+    auto append = as.make_label();
+    auto out = as.make_label();
+    as.cmp(rcx, r15);
+    as.jge(append);
+    as.mov(rbx, rbp);
+    as.add(rbx, rcx);
+    as.load(rbx, rbx, L::kHvRunq);
+    as.cmp(rbx, r14);
+    as.je(out);  // already queued
+    as.inc(rcx);
+    as.jmp(scan);
+    as.bind(append);
+    a_le(r15, L::kMaxVcpus - 1, kAssertRunqBounds);
+    as.mov(rbx, rbp);
+    as.add(rbx, r15);
+    as.store(rbx, r14, L::kHvRunq);
+    as.inc(r15);
+    as.store(rbp, r15, L::kHvRunqCount);
+    as.bind(out);
+    as.ret();
+    as.pad_ud(3);
+  }
+
+  // evtchn_set_pending: r10 = target domain struct address, r11 = port.
+  // The paper's Fig. 5(b) function: tests the mask, sets the pending bit,
+  // marks and wakes the bound VCPU.  Clobbers rbx, rcx, r12..r15.
+  void emit_evtchn_set_pending() {
+    as.global("evtchn_set_pending");
+    a_le(r11, L::kNumEvtchnPorts - 1, kAssertEvtchnPort);
+    as.load(r12, r10, L::kDomSharedInfo);
+    as.movi(rbx, 1);
+    as.shl(rbx, r11);  // rbx = 1 << port
+    auto out = as.make_label();
+    as.load(r13, r12, L::kShEvtchnMask);
+    as.test(r13, rbx);
+    as.jne(out);  // channel masked: do not deliver
+    as.load(r13, r12, L::kShEvtchnPending);
+    as.or_(r13, rbx);
+    as.store(r12, r13, L::kShEvtchnPending);
+    // Resolve the bound VCPU (global index) and mark it pending.
+    as.mov(r14, r10);
+    as.add(r14, r11);
+    as.load(r14, r14, L::kDomEvtchnVcpu);
+    a_le(r14, opt_.num_domains * opt_.vcpus_per_domain - 1,
+         kAssertVcpuIndex);
+    as.mov(r15, r14);
+    as.shli(r15, 6);  // kVcpuStride == 64
+    as.addi(r15, static_cast<std::int64_t>(L::kVcpuBase));
+    as.movi(r13, 1);
+    as.store(r15, r13, L::kVcpuPendingEvents);
+    // Wake if blocked.
+    as.load(r13, r15, L::kVcpuState);
+    as.cmpi(r13, L::kVcpuStateBlocked);
+    as.jne(out);
+    as.movi(r13, L::kVcpuStateRunning);
+    as.store(r15, r13, L::kVcpuState);
+    as.call("runq_insert");  // r14 already holds the vcpu index
+    as.bind(out);
+    as.ret();
+    as.pad_ud(3);
+  }
+
+  // update_time: recomputes system time from the TSC and publishes it to
+  // the current domain's shared-info page (the guest-visible time values
+  // of Table II).  Clobbers r10..r13.
+  void emit_update_time() {
+    as.global("update_time");
+    as.rdtsc(r10);
+    as.load(r11, rbp, L::kHvTscScaleMul);
+    as.mul(r10, r11);
+    as.load(r11, rbp, L::kHvTscScaleShift);
+    as.shr(r10, r11);  // ns since boot
+    // The clock never goes backwards: old < new holds in every correct
+    // execution because the TSC advances between updates.
+    as.load(r13, rbp, L::kHvSystemTime);
+    a_lt(r13, r10, kAssertTimeMonotonic);
+    if (opt_.time_checks) {
+      // Section VI: "two adjacent rdtsc may have a small variation in
+      // their output values.  Checking this variation may help detect
+      // errors."  Re-read and re-scale the clock; the delta against the
+      // first computation must be tiny and non-negative.
+      as.rdtsc(r11);
+      as.load(r12, rbp, L::kHvTscScaleMul);
+      as.mul(r11, r12);
+      as.load(r12, rbp, L::kHvTscScaleShift);
+      as.shr(r11, r12);
+      as.sub(r11, r10);
+      as.assert_ge(r11, 0, kAssertTscDelta);
+      as.assert_le(r11, 4096, kAssertTscDelta);
+    }
+    as.store(rbp, r10, L::kHvSystemTime);
+    as.load(r11, r9, L::kDomSharedInfo);
+    as.load(r12, r11, L::kShVersion);
+    as.inc(r12);
+    as.store(r11, r12, L::kShVersion);
+    as.rdtsc(r13);
+    as.store(r11, r13, L::kShTscStamp);
+    as.store(r11, r10, L::kShSystemTime);
+    as.load(r12, rbp, L::kHvWallclockSec);
+    as.store(r11, r12, L::kShWcSec);
+    as.mov(r12, r10);
+    as.andi(r12, 0xffff);
+    as.store(r11, r12, L::kShWcNsec);
+    as.load(r12, rbp, L::kHvTscScaleMul);
+    as.store(r11, r12, L::kShTscMul);
+    // Per-VCPU pvclock record (update_vcpu_system_time): version bump,
+    // TSC stamp, scaled time and runstate stamp for the current vcpu.
+    as.load(r12, r8, L::kVcpuTimeVersion);
+    as.inc(r12);
+    as.store(r8, r12, L::kVcpuTimeVersion);
+    as.rdtsc(r13);
+    as.load(r12, rbp, L::kHvTscScaleMul);
+    as.mul(r13, r12);
+    as.load(r12, rbp, L::kHvTscScaleShift);
+    as.shr(r13, r12);
+    as.store(r8, r13, L::kVcpuRunstateTime + 3);  // local view of now
+    as.store(r8, r10, L::kVcpuRunstateTime + 0);  // system time snapshot
+    as.ret();
+    as.pad_ud(3);
+  }
+
+  // schedule: round-robin over the runqueue, skipping non-runnable VCPUs;
+  // context-switches the 19-word guest context between the per-pcpu scratch
+  // area and the VCPU save areas.  Falls back to the idle VCPU when nothing
+  // is runnable — and asserts is_idle_vcpu(current) exactly as the paper's
+  // Listing 2 does before idling the physical CPU.
+  // Clobbers rax, rdx, rcx, rbx, r10..r15; updates r8/r9/current.
+  void emit_schedule() {
+    as.global("schedule");
+    auto idle_path = as.make_label();
+    auto found = as.make_label();
+    as.load(r10, rbp, L::kHvRunqCount);
+    as.cmpi(r10, 0);
+    as.je(idle_path);
+    as.load(r11, rbp, L::kHvSchedCursor);
+    as.mov(rcx, r10);  // tries remaining
+    auto try_loop = as.here();
+    as.inc(r11);
+    as.mov(rax, r11);
+    as.div(r10);        // rdx = rax % r10
+    as.mov(r11, rdx);
+    as.mov(r12, rbp);
+    as.add(r12, r11);
+    as.load(r12, r12, L::kHvRunq);  // candidate vcpu index
+    a_le(r12, opt_.num_domains * opt_.vcpus_per_domain - 1,
+         kAssertRunqEntry);
+    as.mov(r13, r12);
+    as.shli(r13, 6);
+    as.addi(r13, static_cast<std::int64_t>(L::kVcpuBase));
+    as.load(r14, r13, L::kVcpuState);
+    as.cmpi(r14, L::kVcpuStateRunning);
+    as.je(found);
+    as.dec(rcx);
+    as.cmpi(rcx, 0);
+    as.jg(try_loop);
+    as.jmp(idle_path);
+
+    as.bind(found);
+    as.store(rbp, r11, L::kHvSchedCursor);
+    // Save outgoing context: scratch -> current vcpu save area (19 words).
+    as.load(r12, rbp, L::kHvCurrentVcpu);
+    as.movi(rcx, 19);
+    as.mov(r14, rbp);
+    as.addi(r14, L::kHvScratch);
+    as.mov(r15, r12);
+    as.addi(r15, L::kVcpuSaveGprs);
+    auto out_loop = as.here();
+    as.load(rbx, r14);
+    as.store(r15, rbx);
+    as.inc(r14);
+    as.inc(r15);
+    as.dec(rcx);
+    as.cmpi(rcx, 0);
+    as.jg(out_loop);
+    // Restore incoming context: next vcpu save area -> scratch.
+    as.movi(rcx, 19);
+    as.mov(r14, r13);
+    as.addi(r14, L::kVcpuSaveGprs);
+    as.mov(r15, rbp);
+    as.addi(r15, L::kHvScratch);
+    auto in_loop = as.here();
+    as.load(rbx, r14);
+    as.store(r15, rbx);
+    as.inc(r14);
+    as.inc(r15);
+    as.dec(rcx);
+    as.cmpi(rcx, 0);
+    as.jg(in_loop);
+    // Runstate accounting (time values).
+    as.load(r10, rbp, L::kHvSystemTime);
+    as.store(r12, r10, L::kVcpuRunstateTime + 0);  // switched out at
+    as.load(r11, r12, L::kVcpuRunstateTime + 2);
+    as.inc(r11);
+    as.store(r12, r11, L::kVcpuRunstateTime + 2);  // switch-out count
+    as.store(r13, r10, L::kVcpuRunstateTime + 1);  // switched in at
+    as.load(r11, r13, L::kVcpuTimeVersion);
+    as.inc(r11);
+    as.store(r13, r11, L::kVcpuTimeVersion);
+    // Commit.
+    as.store(rbp, r13, L::kHvCurrentVcpu);
+    as.mov(r8, r13);
+    as.load(r9, r8, L::kVcpuDomain);
+    as.ret();
+
+    as.bind(idle_path);
+    // Nothing runnable: switch to the idle VCPU and idle the pcpu.
+    as.movi(r13, idle_vcpu_addr());
+    as.store(rbp, r13, L::kHvCurrentVcpu);
+    as.load(r10, r13, L::kVcpuState);
+    a_eq(r10, L::kVcpuStateIdle, kAssertIdleVcpu);  // paper Listing 2
+    as.mov(r8, r13);
+    as.load(r9, r8, L::kVcpuDomain);
+    as.ret();
+    as.pad_ud(3);
+  }
+
+  // sched_block: blocks the current VCPU, compacts it out of the runqueue,
+  // and reschedules.  Clobbers nearly everything (calls schedule).
+  void emit_sched_block() {
+    as.global("sched_block");
+    as.movi(r10, L::kVcpuStateBlocked);
+    as.store(r8, r10, L::kVcpuState);
+    as.load(r10, r8, L::kVcpuId);
+    as.load(r11, rbp, L::kHvRunqCount);
+    as.movi(r12, 0);  // read cursor
+    as.movi(r13, 0);  // write cursor
+    auto scan = as.here();
+    auto done = as.make_label();
+    auto skip = as.make_label();
+    as.cmp(r12, r11);
+    as.jge(done);
+    as.mov(r14, rbp);
+    as.add(r14, r12);
+    as.load(r15, r14, L::kHvRunq);
+    as.cmp(r15, r10);
+    as.je(skip);  // drop the current vcpu's entry
+    as.mov(rbx, rbp);
+    as.add(rbx, r13);
+    as.store(rbx, r15, L::kHvRunq);
+    as.inc(r13);
+    as.bind(skip);
+    as.inc(r12);
+    as.jmp(scan);
+    as.bind(done);
+    as.store(rbp, r13, L::kHvRunqCount);
+    as.call("schedule");
+    as.ret();
+    as.pad_ud(3);
+  }
+
+  // inject_guest_event: r10 = vector.  Pushes an exception frame into the
+  // guest's kernel area and vectors the guest through its trap table —
+  // the PV equivalent of delivering an exception.  Clobbers r11..r13.
+  void emit_inject_guest_event() {
+    as.global("inject_guest_event");
+    a_le(r10, kNumGuestExceptions - 1, kAssertTrapVector);  // Listing 1
+    as.load(r11, r9, L::kDomGuestRam);
+    as.load(r12, r8, L::kVcpuSaveRip);
+    as.store(r11, r12, L::kGuestExcFrame + 0);
+    as.load(r12, r8, L::kVcpuSaveRflags);
+    as.store(r11, r12, L::kGuestExcFrame + 1);
+    as.load(r12, r8, L::kVcpuSaveRsp);
+    as.store(r11, r12, L::kGuestExcFrame + 2);
+    as.store(r11, r10, L::kGuestExcFrame + 3);
+    as.mov(r12, r8);
+    as.add(r12, r10);
+    as.load(r13, r12, L::kVcpuTrapTable);
+    as.store(r8, r13, L::kVcpuSaveRip);
+    as.ret();
+    as.pad_ud(3);
+  }
+
+  // do_tasklet_work: drains the tasklet queue; each tasklet does a small
+  // amount of bounded work.  Clobbers r10..r13.
+  void emit_tasklet_work() {
+    as.global("do_tasklet_work");
+    auto loop = as.here();
+    auto out = as.make_label();
+    as.load(r10, rbp, L::kHvTaskletCount);
+    as.cmpi(r10, 0);
+    as.je(out);
+    a_le(r10, 15, kAssertTaskletQueue);
+    as.dec(r10);
+    as.store(rbp, r10, L::kHvTaskletCount);
+    as.mov(r11, rbp);
+    as.add(r11, r10);
+    as.load(r11, r11, L::kHvTaskletQueue);  // tasklet id
+    as.mov(r12, r11);
+    as.andi(r12, 3);
+    as.inc(r12);  // 1..4 work iterations
+    auto work = as.here();
+    as.load(r13, rbp, L::kHvPerfcCounters + 1);
+    as.add(r13, r11);
+    as.store(rbp, r13, L::kHvPerfcCounters + 1);
+    as.dec(r12);
+    as.cmpi(r12, 0);
+    as.jg(work);
+    as.jmp(loop);
+    as.bind(out);
+    as.ret();
+    as.pad_ud(3);
+  }
+
+  // do_softirq_work: processes pending softirq bits until none remain
+  // (timer -> update_time, schedule -> schedule, tasklet -> tasklet work).
+  void emit_softirq_work() {
+    as.global("do_softirq_work");
+    auto loop = as.here();
+    auto out = as.make_label();
+    auto not_timer = as.make_label();
+    auto not_sched = as.make_label();
+    auto clear_all = as.make_label();
+    as.load(r10, rbp, L::kHvSoftirqPending);
+    as.cmpi(r10, 0);
+    as.je(out);
+    as.testi(r10, L::kSoftirqTimer);
+    as.je(not_timer);
+    as.andi(r10, ~L::kSoftirqTimer);
+    as.store(rbp, r10, L::kHvSoftirqPending);
+    as.call("update_time");
+    as.jmp(loop);
+    as.bind(not_timer);
+    as.testi(r10, L::kSoftirqSchedule);
+    as.je(not_sched);
+    as.andi(r10, ~L::kSoftirqSchedule);
+    as.store(rbp, r10, L::kHvSoftirqPending);
+    as.call("schedule");
+    as.jmp(loop);
+    as.bind(not_sched);
+    as.testi(r10, L::kSoftirqTasklet);
+    as.je(clear_all);
+    as.andi(r10, ~L::kSoftirqTasklet);
+    as.store(rbp, r10, L::kHvSoftirqPending);
+    as.call("do_tasklet_work");
+    as.jmp(loop);
+    as.bind(clear_all);  // unknown bits: discard
+    as.movi(r10, 0);
+    as.store(rbp, r10, L::kHvSoftirqPending);
+    as.bind(out);
+    as.ret();
+    as.pad_ud(3);
+  }
+
+  // ==========================================================================
+  // Category 1 & 3: device IRQs, softirqs, tasklets
+  // ==========================================================================
+
+  void emit_irq_softirq_tasklet() {
+    handler("do_irq", [&] {
+      a_le(rdi, kNumIrqLines - 1, kAssertIrqLine);
+      as.mov(r10, rbp);
+      as.add(r10, rdi);
+      as.load(r11, r10, L::kHvIrqTable);  // entry = dom<<8 | port
+      as.mov(r12, r11);
+      as.shri(r12, 8);
+      as.mov(r13, r11);
+      as.andi(r13, 0xff);
+      a_le(r12, opt_.num_domains - 1, kAssertDomainIndex);
+      as.mov(r10, r12);
+      as.shli(r10, 6);
+      as.addi(r10, static_cast<std::int64_t>(L::kDomainBase));
+      as.mov(r11, r13);
+      as.call("evtchn_set_pending");
+      as.load(r14, rbp, L::kHvPerfcCounters + 0);
+      as.inc(r14);
+      as.store(rbp, r14, L::kHvPerfcCounters + 0);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("do_softirq", [&] {
+      as.call("do_softirq_work");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("do_tasklet", [&] {
+      as.call("do_tasklet_work");
+      as.movi(rax, 0);
+      as.ret();
+    });
+  }
+
+  // ==========================================================================
+  // Category 2: APIC interrupt handlers
+  // ==========================================================================
+
+  void emit_apic_handlers() {
+    handler("apic_timer", [&] {
+      as.call("update_time");
+      auto no_fire = as.make_label();
+      as.load(r10, r8, L::kVcpuTimerDeadline);
+      as.cmpi(r10, 0);
+      as.je(no_fire);
+      as.load(r11, rbp, L::kHvSystemTime);
+      as.cmp(r10, r11);
+      as.jg(no_fire);  // deadline still in the future
+      as.movi(r12, 0);
+      as.store(r8, r12, L::kVcpuTimerDeadline);
+      as.movi(r12, 1);
+      as.store(r8, r12, L::kVcpuPendingEvents);
+      as.bind(no_fire);
+      as.load(r10, rbp, L::kHvSoftirqPending);
+      as.ori(r10, L::kSoftirqTimer | L::kSoftirqSchedule);
+      as.store(rbp, r10, L::kHvSoftirqPending);
+      as.call("do_softirq_work");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("apic_error", [&] {
+      as.load(r10, rbp, L::kHvApicEsr);
+      as.load(r11, rbp, L::kHvConsolePtr);
+      as.mov(r12, r11);
+      as.andi(r12, 0xff);
+      as.addi(r12, static_cast<std::int64_t>(L::kConsoleBase));
+      as.store(r12, r10);
+      as.inc(r11);
+      as.store(rbp, r11, L::kHvConsolePtr);
+      as.movi(r10, 0);
+      as.store(rbp, r10, L::kHvApicEsr);
+      as.load(r10, rbp, L::kHvPerfcCounters + 7);
+      as.inc(r10);
+      as.store(rbp, r10, L::kHvPerfcCounters + 7);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("apic_spurious", [&] {
+      // The shortest handler: just account it.
+      as.load(r10, rbp, L::kHvPerfcCounters + 8);
+      as.inc(r10);
+      as.store(rbp, r10, L::kHvPerfcCounters + 8);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("apic_thermal", [&] {
+      auto ok = as.make_label();
+      as.load(r10, rbp, L::kHvThermal);
+      as.cmpi(r10, 100);
+      as.jle(ok);
+      as.movi(r11, 1);
+      as.store(rbp, r11, L::kHvThrottle);
+      as.bind(ok);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("apic_perf_counter", [&] {
+      as.load(r10, rbp, L::kHvPerfcCounters + 9);
+      as.inc(r10);
+      as.store(rbp, r10, L::kHvPerfcCounters + 9);
+      as.store(rbp, rdi, L::kHvPerfcCounters + 10);  // overflow status
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("apic_cmci", [&] {
+      // Corrected machine checks: count set bits across the first banks.
+      as.movi(r10, 0);
+      as.movi(r11, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      as.cmpi(r10, 1);
+      as.jg(done);
+      as.mov(r12, rbp);
+      as.add(r12, r10);
+      as.load(r13, r12, L::kHvMcBanks);
+      as.add(r11, r13);
+      as.inc(r10);
+      as.jmp(loop);
+      as.bind(done);
+      as.load(r12, rbp, L::kHvPerfcCounters + 11);
+      as.add(r12, r11);
+      as.store(rbp, r12, L::kHvPerfcCounters + 11);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("ipi_event_check", [&] {
+      auto done = as.make_label();
+      as.load(r10, r8, L::kVcpuPendingEvents);
+      as.cmpi(r10, 0);
+      as.je(done);
+      as.load(r11, r9, L::kDomSharedInfo);
+      as.load(r12, r11, L::kShArchFlags);
+      as.ori(r12, 1);  // callback pending
+      as.store(r11, r12, L::kShArchFlags);
+      as.bind(done);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("ipi_call_function", [&] {
+      as.load(r10, rbp, L::kHvIpiArg);
+      as.mov(r11, r10);
+      as.andi(r11, 7);
+      as.inc(r11);  // 1..8 iterations
+      auto work = as.here();
+      as.load(r12, rbp, L::kHvPerfcCounters + 12);
+      as.xor_(r12, r10);
+      as.store(rbp, r12, L::kHvPerfcCounters + 12);
+      as.dec(r11);
+      as.cmpi(r11, 0);
+      as.jg(work);
+      as.movi(r12, 0);
+      as.store(rbp, r12, L::kHvIpiArg);  // ack
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("ipi_reschedule", [&] {
+      as.load(r10, rbp, L::kHvSoftirqPending);
+      as.ori(r10, L::kSoftirqSchedule);
+      as.store(rbp, r10, L::kHvSoftirqPending);
+      as.call("do_softirq_work");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("ipi_irq_move", [&] {
+      as.load(r10, rbp, L::kHvIpiArg);
+      as.andi(r10, 0xf);
+      as.mov(r11, rbp);
+      as.add(r11, r10);
+      as.load(r12, r11, L::kHvIrqTable);   // re-read + rewrite the entry
+      as.store(r11, r12, L::kHvIrqTable);  // (destination cpu not modelled)
+      as.load(r13, rbp, L::kHvPerfcCounters + 13);
+      as.inc(r13);
+      as.store(rbp, r13, L::kHvPerfcCounters + 13);
+      as.movi(rax, 0);
+      as.ret();
+    });
+  }
+
+  // ==========================================================================
+  // Category 4: exception handlers
+  // ==========================================================================
+
+  /// A plain "reflect to the guest" exception handler.
+  void simple_inject(const std::string& sym, int vector) {
+    handler(sym, [&] {
+      as.movi(r10, vector);
+      as.call("inject_guest_event");
+      as.movi(rax, 0);
+      as.ret();
+    });
+  }
+
+  /// Inject with an architectural error code stored into the frame first.
+  void inject_with_errcode(const std::string& sym, int vector) {
+    handler(sym, [&] {
+      as.load(r11, r9, L::kDomGuestRam);
+      as.store(r11, rdi, L::kGuestExcFrame + 3);
+      as.movi(r10, vector);
+      as.call("inject_guest_event");
+      as.movi(rax, 0);
+      as.ret();
+    });
+  }
+
+  void emit_exception_handlers() {
+    simple_inject("do_divide_error", 0);
+
+    handler("do_debug", [&] {
+      as.store(rbp, rdi, L::kHvDebugreg + 6);  // dr6 status
+      as.movi(r10, 1);
+      as.call("inject_guest_event");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("do_nmi", [&] {
+      auto no_log = as.make_label();
+      as.load(r10, rbp, L::kHvNmiReason);
+      as.testi(r10, 1);
+      as.je(no_log);
+      // Log the NMI reason to the console ring.
+      as.load(r11, rbp, L::kHvConsolePtr);
+      as.mov(r12, r11);
+      as.andi(r12, 0xff);
+      as.addi(r12, static_cast<std::int64_t>(L::kConsoleBase));
+      as.store(r12, r10);
+      as.inc(r11);
+      as.store(rbp, r11, L::kHvConsolePtr);
+      as.bind(no_log);
+      as.load(r10, rbp, L::kHvPerfcCounters + 4);
+      as.inc(r10);
+      as.store(rbp, r10, L::kHvPerfcCounters + 4);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    simple_inject("do_int3", 3);
+    simple_inject("do_overflow", 4);
+    simple_inject("do_bounds", 5);
+    simple_inject("do_invalid_op", 6);
+
+    handler("do_device_not_available", [&] {
+      as.load(r10, r9, L::kDomSharedInfo);
+      as.load(r11, r10, L::kShArchFlags);
+      as.ori(r11, 4);  // fpu dirty
+      as.store(r10, r11, L::kShArchFlags);
+      as.movi(r10, 7);
+      as.call("inject_guest_event");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("do_double_fault", [&] {
+      // A guest double fault is unrecoverable: crash the domain, log it,
+      // and deschedule.
+      as.movi(r10, 1);
+      as.store(r9, r10, L::kDomState);
+      as.load(r11, rbp, L::kHvConsolePtr);
+      as.movi(rcx, 4);
+      as.load(r13, r9, L::kDomId);
+      auto log = as.here();
+      as.mov(r12, r11);
+      as.andi(r12, 0xff);
+      as.addi(r12, static_cast<std::int64_t>(L::kConsoleBase));
+      as.store(r12, r13);
+      as.inc(r11);
+      as.dec(rcx);
+      as.cmpi(rcx, 0);
+      as.jg(log);
+      as.store(rbp, r11, L::kHvConsolePtr);
+      as.call("sched_block");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    simple_inject("do_coproc_seg_overrun", 9);
+    inject_with_errcode("do_invalid_tss", 10);
+    inject_with_errcode("do_segment_not_present", 11);
+    inject_with_errcode("do_stack_segment", 12);
+
+    // do_general_protection: the paper's Section II example — a guest
+    // executed a privileged instruction (cpuid/rdtsc); the hypervisor
+    // emulates it and writes the results into the VCPU register save
+    // area.  A soft error here produces exactly the "incorrect eax"
+    // SDC scenario the paper describes.
+    handler("do_general_protection", [&] {
+      auto emulate_cpuid = as.make_label();
+      auto emulate_rdtsc = as.make_label();
+      as.cmpi(rdi, 0x0f);
+      as.je(emulate_cpuid);
+      as.cmpi(rdi, 0x31);
+      as.je(emulate_rdtsc);
+      as.movi(r10, 13);
+      as.call("inject_guest_event");
+      as.movi(rax, 0);
+      as.ret();
+
+      // Emulation results land in the guest's register save slots; the
+      // emulated eax travels via the handler's return value, which
+      // ret_to_guest stores into the guest rax slot.
+      as.bind(emulate_cpuid);
+      auto leaf1 = as.make_label();
+      as.cmpi(rsi, 0);
+      as.jne(leaf1);
+      as.movi(r11, 0x756e6547);                 // "Genu"
+      as.store(r8, r11, L::kVcpuSaveGprs + 1);
+      as.movi(r11, 0x6c65746e);                 // "ntel"
+      as.store(r8, r11, L::kVcpuSaveGprs + 2);
+      as.movi(r11, 0x49656e69);                 // "ineI"
+      as.store(r8, r11, L::kVcpuSaveGprs + 3);
+      as.movi(rax, 0x0d);  // guest eax: max leaf
+      as.ret();
+      as.bind(leaf1);
+      as.movi(r11, 0x00100800);
+      as.store(r8, r11, L::kVcpuSaveGprs + 1);
+      as.movi(r11, 0x80982201);
+      as.store(r8, r11, L::kVcpuSaveGprs + 2);
+      as.movi(r11, 0x078bfbfd);
+      as.store(r8, r11, L::kVcpuSaveGprs + 3);
+      as.load(rax, r9, L::kDomId);
+      as.shli(rax, 8);
+      as.addi(rax, 0x000106a5);  // family/model/stepping, domain-stamped
+      as.ret();
+
+      as.bind(emulate_rdtsc);
+      as.rdtsc(r11);
+      as.load(r12, rbp, L::kHvTscScaleMul);
+      as.mul(r11, r12);
+      as.mov(rax, r11);
+      as.andi(rax, 0xffffffff);  // guest eax: low half
+      as.shri(r11, 32);
+      as.store(r8, r11, L::kVcpuSaveGprs + 3);  // guest edx: high half
+      as.ret();
+    });
+
+    handler("do_page_fault", [&] {
+      auto not_mapped = as.make_label();
+      as.load(r10, r9, L::kDomGuestRam);
+      as.mov(r11, rdi);
+      as.shri(r11, 4);
+      as.andi(r11, 0xf);  // l1 index
+      as.mov(r12, r10);
+      as.add(r12, r11);
+      as.load(r13, r12, L::kGuestPageTable);
+      as.cmpi(r13, 0);
+      as.je(not_mapped);
+      // Fixup: synthesize the translation and expose it to the guest.
+      as.mov(r14, r13);
+      as.shli(r14, 8);
+      as.mov(r15, rdi);
+      as.andi(r15, 0xf);
+      as.or_(r14, r15);
+      a_ne(r14, 0, kAssertPtFixup);  // translation must be nonzero
+      as.mov(r15, rdi);
+      as.andi(r15, 0xff);
+      as.add(r15, r10);
+      as.store(r15, r14, L::kGuestAppPtrs);
+      as.load(r11, rbp, L::kHvPerfcCounters + 5);  // minor-fault count
+      as.inc(r11);
+      as.store(rbp, r11, L::kHvPerfcCounters + 5);
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(not_mapped);
+      as.store(r10, rdi, L::kGuestExcFrame + 3);  // cr2
+      as.movi(r10, 14);
+      as.call("inject_guest_event");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("do_spurious_interrupt", [&] {
+      as.load(r10, rbp, L::kHvPerfcCounters + 6);
+      as.inc(r10);
+      as.store(rbp, r10, L::kHvPerfcCounters + 6);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    simple_inject("do_math_fault", 16);
+    simple_inject("do_alignment_check", 17);
+
+    handler("do_machine_check", [&] {
+      as.movi(r10, 0);
+      as.movi(r11, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      as.cmpi(r10, 3);
+      as.jg(done);
+      as.mov(r12, rbp);
+      as.add(r12, r10);
+      as.load(r13, r12, L::kHvMcBanks);
+      as.or_(r11, r13);
+      as.inc(r10);
+      as.jmp(loop);
+      as.bind(done);
+      auto benign = as.make_label();
+      as.testi(r11, 1);  // fatal bit
+      as.je(benign);
+      as.movi(r12, 1);
+      as.store(r9, r12, L::kDomState);
+      as.call("sched_block");
+      as.bind(benign);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    simple_inject("do_simd_error", 18);
+  }
+
+  // ==========================================================================
+  // Category 5: hypercalls
+  // ==========================================================================
+
+  void emit_hypercalls() {
+    handler("hypercall_set_trap_table", [&] {
+      a_le(rdi, 16, kAssertTrapTableCount);
+      as.load(r10, r9, L::kDomGuestRam);
+      as.movi(r11, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      as.cmp(r11, rdi);
+      as.jge(done);
+      as.mov(r12, r11);
+      as.shli(r12, 1);
+      as.add(r12, r10);
+      as.load(r13, r12, L::kGuestReqBuffer);      // vector
+      as.load(r14, r12, L::kGuestReqBuffer + 1);  // guest handler address
+      a_le(r13, kNumGuestExceptions - 1, kAssertTrapVector);  // Listing 1
+      as.mov(r15, r8);
+      as.add(r15, r13);
+      as.store(r15, r14, L::kVcpuTrapTable);
+      as.inc(r11);
+      as.jmp(loop);
+      as.bind(done);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_mmu_update", [&] {
+      a_le(rdi, 64, kAssertMmuCount);
+      as.load(r10, r9, L::kDomGuestRam);
+      as.movi(r11, 0);
+      as.movi(rax, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      auto bad = as.make_label();
+      auto next = as.make_label();
+      as.cmp(r11, rdi);
+      as.jge(done);
+      as.mov(r12, r11);
+      as.shli(r12, 1);
+      as.add(r12, r10);
+      as.load(r13, r12, L::kGuestReqBuffer);      // window offset
+      as.load(r14, r12, L::kGuestReqBuffer + 1);  // value
+      as.cmpi(r13, 64);
+      as.jae(bad);
+      // Validate the entry before installing it, as real mmu_update does
+      // (type and frame checks): the frame field must be within the
+      // machine's frame space.  Corrupted values take the reject path.
+      as.mov(r15, r14);
+      as.shri(r15, 24);
+      as.cmpi(r15, 0);
+      as.jne(bad);  // frame beyond physical memory: -EINVAL
+      as.mov(r15, r10);
+      as.add(r15, r13);
+      as.store(r15, r14, L::kGuestMmuWindow);
+      as.jmp(next);
+      as.bind(bad);
+      as.movi(rax, -22);  // -EINVAL
+      as.bind(next);
+      as.inc(r11);
+      as.jmp(loop);
+      as.bind(done);
+      as.ret();
+    });
+
+    handler("hypercall_set_gdt", [&] {
+      a_le(rdi, 8, kAssertGdtEntries);
+      as.load(r10, r9, L::kDomGuestRam);
+      as.movi(r11, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      as.cmp(r11, rdi);
+      as.jge(done);
+      as.mov(r12, r11);
+      as.add(r12, r10);
+      as.load(r13, r12, L::kGuestReqBuffer);
+      // Descriptor validation (fixup_guest_code_selector-style): corrupted
+      // descriptors are repaired rather than installed verbatim.
+      auto desc_ok = as.make_label();
+      as.mov(r14, r13);
+      as.andi(r14, 1);  // present bit
+      as.cmpi(r14, 1);
+      as.je(desc_ok);
+      as.ori(r13, 1);  // force-present, strip nothing else
+      as.bind(desc_ok);
+      as.mov(r14, r8);
+      as.add(r14, r11);
+      as.store(r14, r13, L::kVcpuGdt);
+      as.inc(r11);
+      as.jmp(loop);
+      as.bind(done);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_stack_switch", [&] {
+      auto bad = as.make_label();
+      as.load(r10, r9, L::kDomGuestRam);
+      as.cmp(rdi, r10);
+      as.jb(bad);
+      as.mov(r11, r10);
+      as.addi(r11, static_cast<std::int64_t>(L::kGuestRamStride));
+      as.cmp(rdi, r11);
+      as.jae(bad);
+      as.store(r8, rdi, L::kVcpuSaveRsp);
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(bad);
+      as.movi(rax, -14);  // -EFAULT
+      as.ret();
+    });
+
+    handler("hypercall_set_callbacks", [&] {
+      as.store(r8, rdi, L::kVcpuCallback);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_fpu_taskswitch", [&] {
+      auto clear = as.make_label();
+      auto commit = as.make_label();
+      as.load(r10, r9, L::kDomSharedInfo);
+      as.load(r11, r10, L::kShArchFlags);
+      as.cmpi(rdi, 0);
+      as.je(clear);
+      as.ori(r11, 2);  // TS set
+      as.jmp(commit);
+      as.bind(clear);
+      as.andi(r11, ~std::int64_t{2});
+      as.bind(commit);
+      as.store(r10, r11, L::kShArchFlags);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_sched_op_compat", [&] {
+      auto block = as.make_label();
+      as.cmpi(rdi, 1);
+      as.je(block);
+      as.call("schedule");  // yield
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(block);
+      as.call("sched_block");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_platform_op", [&] {
+      auto settime = as.make_label();
+      as.cmpi(rdi, 1);
+      as.je(settime);
+      as.load(r10, rbp, L::kHvPlatformFlags);
+      as.mov(r11, rsi);
+      as.or_(r10, r11);
+      as.store(rbp, r10, L::kHvPlatformFlags);
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(settime);
+      as.store(rbp, rsi, L::kHvWallclockSec);
+      as.call("update_time");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_set_debugreg", [&] {
+      a_le(rdi, 7, kAssertDebugregIndex);
+      as.mov(r10, rbp);
+      as.add(r10, rdi);
+      as.store(r10, rsi, L::kHvDebugreg);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_get_debugreg", [&] {
+      a_le(rdi, 7, kAssertDebugregIndex);
+      as.mov(r10, rbp);
+      as.add(r10, rdi);
+      as.load(rax, r10, L::kHvDebugreg);
+      as.ret();
+    });
+
+    handler("hypercall_update_descriptor", [&] {
+      auto bad = as.make_label();
+      a_le(rdi, 7, kAssertDescriptorIndex);
+      as.mov(r10, rsi);
+      as.andi(r10, 1);  // present bit must be set
+      as.cmpi(r10, 0);
+      as.je(bad);
+      as.mov(r10, r8);
+      as.add(r10, rdi);
+      as.store(r10, rsi, L::kVcpuGdt);
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(bad);
+      as.movi(rax, -22);
+      as.ret();
+    });
+
+    handler("hypercall_memory_op", [&] {
+      auto dec_loop_head = as.make_label();
+      auto done_inc = as.make_label();
+      auto done_dec = as.make_label();
+      as.load(r10, r9, L::kDomTotPages);
+      as.load(r11, r9, L::kDomMaxPages);
+      as.load(r12, r9, L::kDomGuestRam);
+      as.movi(r13, 0);
+      as.cmpi(rdi, 1);
+      as.je(dec_loop_head);
+      auto inc_loop = as.here();
+      as.cmp(r13, rsi);
+      as.jge(done_inc);
+      as.inc(r10);
+      as.mov(r14, r13);
+      as.andi(r14, 0x3f);
+      as.add(r14, r12);
+      as.store(r14, r10, L::kGuestAppPtrs);  // "frame number" for the app
+      as.inc(r13);
+      as.jmp(inc_loop);
+      as.bind(done_inc);
+      as.mov(r14, r11);
+      as.inc(r14);
+      a_lt(r10, r14, kAssertPagesLimit);  // tot_pages <= max_pages
+      as.store(r9, r10, L::kDomTotPages);
+      as.mov(rax, rsi);
+      as.ret();
+      as.bind(dec_loop_head);
+      auto dec_loop = as.here();
+      as.cmp(r13, rsi);
+      as.jge(done_dec);
+      as.cmpi(r10, 0);
+      as.je(done_dec);
+      as.dec(r10);
+      as.inc(r13);
+      as.jmp(dec_loop);
+      as.bind(done_dec);
+      as.store(r9, r10, L::kDomTotPages);
+      as.mov(rax, r13);
+      as.ret();
+    });
+
+    handler("hypercall_multicall", [&] {
+      a_le(rdi, 8, kAssertMulticallCount);
+      as.load(r10, r9, L::kDomGuestRam);
+      as.movi(r11, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      auto skip = as.make_label();
+      as.cmp(r11, rdi);
+      as.jge(done);
+      as.mov(r12, r11);
+      as.shli(r12, 1);
+      as.add(r12, r10);
+      as.load(r13, r12, L::kGuestReqBuffer);      // hypercall number
+      as.load(r14, r12, L::kGuestReqBuffer + 1);  // argument
+      a_le(r13, kNumHypercalls - 1, kAssertMulticallIndex);
+      as.mov(r15, rbp);
+      as.add(r15, r13);
+      as.load(r15, r15, L::kHvHypercallTable);
+      as.cmpi(r15, 0);
+      as.je(skip);  // not multicall-safe: skipped
+      as.push(rdi);
+      as.push(r10);
+      as.push(r11);
+      as.mov(rdi, r14);
+      auto ret_here = as.make_label();
+      as.movi(rbx, ret_here);
+      as.push(rbx);
+      as.jmp_reg(r15);  // manual indirect call through the in-memory table
+      as.bind(ret_here);
+      as.pop(r11);
+      as.pop(r10);
+      as.pop(rdi);
+      as.bind(skip);
+      as.inc(r11);
+      as.jmp(loop);
+      as.bind(done);
+      as.mov(rax, r11);
+      as.ret();
+    });
+
+    handler("hypercall_update_va_mapping", [&] {
+      auto bad = as.make_label();
+      as.cmpi(rdi, 0x100);
+      as.jae(bad);
+      as.load(r11, r9, L::kDomGuestRam);
+      as.mov(r10, rdi);
+      as.andi(r10, 0xff);
+      as.add(r10, r11);
+      as.store(r10, rsi, L::kGuestAppPtrs);
+      as.load(r12, rbp, L::kHvPerfcCounters + 2);  // tlb-flush count
+      as.inc(r12);
+      as.store(rbp, r12, L::kHvPerfcCounters + 2);
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(bad);
+      as.movi(rax, -22);
+      as.ret();
+    });
+
+    handler("hypercall_set_timer_op", [&] {
+      auto past = as.make_label();
+      as.load(r10, rbp, L::kHvSystemTime);
+      as.cmp(rdi, r10);
+      as.jb(past);
+      as.store(r8, rdi, L::kVcpuTimerDeadline);
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(past);
+      as.movi(r11, 0);
+      as.store(r8, r11, L::kVcpuTimerDeadline);
+      as.load(r11, rbp, L::kHvSoftirqPending);
+      as.ori(r11, L::kSoftirqTimer);
+      as.store(rbp, r11, L::kHvSoftirqPending);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_event_channel_op_compat", [&] {
+      as.mov(r10, r9);
+      as.mov(r11, rdi);
+      as.call("evtchn_set_pending");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_xen_version", [&] {
+      auto done = as.make_label();
+      as.load(rax, rbp, L::kHvXenVersion);
+      as.cmpi(rdi, 1);
+      as.jne(done);
+      as.load(r10, r9, L::kDomGuestRam);
+      as.movi(r11, 0x2e31);  // extraversion ".1"
+      as.store(r10, r11, L::kGuestAppData + 0x10);
+      as.movi(r11, 0x322e);  // ".2"
+      as.store(r10, r11, L::kGuestAppData + 0x11);
+      as.movi(r11, 0);
+      as.store(r10, r11, L::kGuestAppData + 0x12);
+      as.movi(r11, 4);
+      as.store(r10, r11, L::kGuestAppData + 0x13);
+      as.bind(done);
+      as.ret();
+    });
+
+    handler("hypercall_console_io", [&] {
+      a_le(rdi, 64, kAssertConsoleCount);
+      as.load(r10, r9, L::kDomGuestRam);
+      as.load(r11, rbp, L::kHvConsolePtr);
+      as.movi(r12, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      as.cmp(r12, rdi);
+      as.jge(done);
+      as.mov(r13, r12);
+      as.add(r13, r10);
+      as.load(r14, r13, L::kGuestReqBuffer);
+      as.mov(r13, r11);
+      as.andi(r13, 0xff);  // ring wrap
+      as.addi(r13, static_cast<std::int64_t>(L::kConsoleBase));
+      as.store(r13, r14);
+      as.inc(r11);
+      as.inc(r12);
+      as.jmp(loop);
+      as.bind(done);
+      as.store(rbp, r11, L::kHvConsolePtr);
+      as.mov(rax, rdi);
+      as.ret();
+    });
+
+    handler("hypercall_physdev_op_compat", [&] {
+      as.load(r10, rbp, L::kHvPerfcCounters + 3);
+      as.inc(r10);
+      as.store(rbp, r10, L::kHvPerfcCounters + 3);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_grant_table_op", [&] {
+      as.load(r10, r9, L::kDomGuestRam);
+      as.movi(r11, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      auto unmap = as.make_label();
+      auto next = as.make_label();
+      as.cmp(r11, rsi);
+      as.jge(done);
+      as.mov(r12, r11);
+      as.add(r12, r10);
+      as.load(r13, r12, L::kGuestReqBuffer);  // grant ref
+      a_le(r13, L::kNumGrantEntries - 1, kAssertGrantRef);
+      as.mov(r14, r9);
+      as.add(r14, r13);
+      as.cmpi(rdi, 0);
+      as.jne(unmap);
+      as.load(r15, r14, L::kDomGrantTable);
+      as.ori(r15, 1);  // map flag
+      as.store(r14, r15, L::kDomGrantTable);
+      as.jmp(next);
+      as.bind(unmap);
+      as.movi(r15, 0);
+      as.store(r14, r15, L::kDomGrantTable);
+      as.bind(next);
+      as.inc(r11);
+      as.jmp(loop);
+      as.bind(done);
+      as.load(r12, r9, L::kDomGrantCount);
+      as.add(r12, rsi);
+      as.store(r9, r12, L::kDomGrantCount);
+      as.mov(rax, rsi);
+      as.ret();
+    });
+
+    handler("hypercall_vm_assist", [&] {
+      auto disable = as.make_label();
+      auto commit = as.make_label();
+      as.movi(r10, 1);
+      as.shl(r10, rsi);
+      as.load(r11, r9, L::kDomVmAssist);
+      as.cmpi(rdi, 0);
+      as.jne(disable);
+      as.or_(r11, r10);
+      as.jmp(commit);
+      as.bind(disable);
+      as.not_(r10);
+      as.and_(r11, r10);
+      as.bind(commit);
+      as.store(r9, r11, L::kDomVmAssist);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_update_va_mapping_otherdomain", [&] {
+      auto denied = as.make_label();
+      as.load(r10, r9, L::kDomIsPrivileged);
+      as.cmpi(r10, 1);
+      as.jne(denied);
+      a_le(rdi, opt_.num_domains - 1, kAssertDomainIndex);
+      as.mov(r10, rdi);
+      as.shli(r10, 6);
+      as.addi(r10, static_cast<std::int64_t>(L::kDomainBase));
+      as.load(r11, r10, L::kDomGuestRam);
+      as.mov(r12, rsi);
+      as.andi(r12, 0xff);
+      as.add(r12, r11);
+      as.store(r12, rdx, L::kGuestAppPtrs);
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(denied);
+      as.movi(rax, -1);  // -EPERM
+      as.ret();
+    });
+
+    handler("hypercall_iret", [&] {
+      as.load(r10, r9, L::kDomGuestRam);
+      as.load(r11, r10, L::kGuestExcFrame + 0);
+      as.store(r8, r11, L::kVcpuSaveRip);
+      as.load(r11, r10, L::kGuestExcFrame + 1);
+      as.store(r8, r11, L::kVcpuSaveRflags);
+      as.load(r11, r10, L::kGuestExcFrame + 2);
+      as.store(r8, r11, L::kVcpuSaveRsp);
+      as.movi(r11, 0);
+      as.store(r8, r11, L::kVcpuPendingEvents);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_vcpu_op", [&] {
+      const int num_vcpus = opt_.num_domains * opt_.vcpus_per_domain;
+      auto down = as.make_label();
+      auto runstate = as.make_label();
+      auto already_up = as.make_label();
+      a_le(rsi, num_vcpus - 1, kAssertVcpuIndex);
+      as.mov(r10, rsi);
+      as.shli(r10, 6);
+      as.addi(r10, static_cast<std::int64_t>(L::kVcpuBase));
+      as.cmpi(rdi, 1);
+      as.je(down);
+      as.cmpi(rdi, 2);
+      as.je(runstate);
+      // VCPUOP_up.
+      as.load(r11, r10, L::kVcpuState);
+      as.cmpi(r11, L::kVcpuStateRunning);
+      as.je(already_up);
+      as.movi(r11, L::kVcpuStateRunning);
+      as.store(r10, r11, L::kVcpuState);
+      as.mov(r14, rsi);
+      as.call("runq_insert");
+      as.bind(already_up);
+      as.movi(rax, 0);
+      as.ret();
+      // VCPUOP_down: only the *current* vcpu is descheduled here; a foreign
+      // vcpu just has its state flipped (the next schedule skips it).
+      as.bind(down);
+      auto foreign = as.make_label();
+      as.load(r11, r8, L::kVcpuId);
+      as.cmp(r11, rsi);
+      as.jne(foreign);
+      as.call("sched_block");
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(foreign);
+      as.movi(r11, L::kVcpuStateBlocked);
+      as.store(r10, r11, L::kVcpuState);
+      as.movi(rax, 0);
+      as.ret();
+      // VCPUOP_get_runstate_info: export runstate times to the guest.
+      as.bind(runstate);
+      as.load(r11, r9, L::kDomGuestRam);
+      for (int w = 0; w < 4; ++w) {
+        as.load(r12, r10, L::kVcpuRunstateTime + w);
+        as.store(r11, r12, L::kGuestTimeArea + w);
+      }
+      as.load(r12, rbp, L::kHvSystemTime);
+      as.store(r11, r12, L::kGuestTimeArea + 4);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_set_segment_base", [&] {
+      as.store(r8, rdi, L::kVcpuSegBase);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_mmuext_op", [&] {
+      as.movi(r10, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      auto pin = as.make_label();
+      auto next = as.make_label();
+      as.cmp(r10, rsi);
+      as.jge(done);
+      as.cmpi(rdi, 0);
+      as.jne(pin);
+      as.load(r11, rbp, L::kHvPerfcCounters + 2);  // tlb flush
+      as.inc(r11);
+      as.store(rbp, r11, L::kHvPerfcCounters + 2);
+      as.jmp(next);
+      as.bind(pin);
+      as.load(r11, r9, L::kDomGuestRam);
+      as.mov(r12, r10);
+      as.andi(r12, 63);
+      as.movi(r13, 1);
+      as.shl(r13, r12);
+      as.load(r14, r11, L::kGuestPinned);
+      as.or_(r14, r13);
+      as.store(r11, r14, L::kGuestPinned);
+      as.bind(next);
+      as.inc(r10);
+      as.jmp(loop);
+      as.bind(done);
+      as.mov(rax, rsi);
+      as.ret();
+    });
+
+    handler("hypercall_xsm_op", [&] {
+      auto denied = as.make_label();
+      as.load(r10, rbp, L::kHvXsmPolicy);
+      as.mov(r11, rdi);
+      as.test(r10, r11);
+      as.jne(denied);
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(denied);
+      as.movi(rax, -13);  // -EACCES
+      as.ret();
+    });
+
+    handler("hypercall_nmi_op", [&] {
+      as.store(r8, rdi, L::kVcpuNmiCallback);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_sched_op", [&] {
+      auto yield = as.make_label();
+      auto block = as.make_label();
+      auto shutdown = as.make_label();
+      auto ready = as.make_label();
+      as.cmpi(rdi, 0);
+      as.je(yield);
+      as.cmpi(rdi, 1);
+      as.je(block);
+      as.cmpi(rdi, 2);
+      as.je(shutdown);
+      // SCHEDOP_poll on port rsi.
+      as.load(r10, r9, L::kDomSharedInfo);
+      as.load(r11, r10, L::kShEvtchnPending);
+      as.movi(r12, 1);
+      as.shl(r12, rsi);
+      as.test(r11, r12);
+      as.jne(ready);
+      as.call("sched_block");
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(ready);
+      as.movi(rax, 1);
+      as.ret();
+      as.bind(yield);
+      as.call("schedule");
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(block);
+      as.call("sched_block");
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(shutdown);
+      as.movi(r10, 1);
+      as.store(r9, r10, L::kDomState);
+      as.call("sched_block");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_callback_op", [&] {
+      as.store(r8, rdi, L::kVcpuCallback);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_xenoprof_op", [&] {
+      as.movi(r10, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      as.cmpi(r10, 7);
+      as.jg(done);
+      as.mov(r11, rbp);
+      as.add(r11, r10);
+      as.movi(r12, 0);
+      as.store(r11, r12, L::kHvPerfcCounters + 8);
+      as.inc(r10);
+      as.jmp(loop);
+      as.bind(done);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_event_channel_op", [&] {
+      auto alloc = as.make_label();
+      auto send = as.make_label();
+      as.cmpi(rdi, 0);
+      as.je(alloc);
+      as.cmpi(rdi, 1);
+      as.je(send);
+      // EVTCHNOP_bind: bind port rsi to the current vcpu.
+      a_le(rsi, L::kNumEvtchnPorts - 1, kAssertEvtchnPort);
+      as.load(r10, r8, L::kVcpuId);
+      as.mov(r11, r9);
+      as.add(r11, rsi);
+      as.store(r11, r10, L::kDomEvtchnVcpu);
+      as.mov(rax, rsi);
+      as.ret();
+      // EVTCHNOP_alloc_unbound: scan for a free port (sentinel 0xff).
+      as.bind(alloc);
+      auto scan = as.make_label();
+      auto found = as.make_label();
+      auto full = as.make_label();
+      as.movi(r10, 0);
+      as.bind(scan);
+      as.cmpi(r10, L::kNumEvtchnPorts - 1);
+      as.jg(full);
+      as.mov(r11, r9);
+      as.add(r11, r10);
+      as.load(r12, r11, L::kDomEvtchnVcpu);
+      as.cmpi(r12, 0xff);
+      as.je(found);
+      as.inc(r10);
+      as.jmp(scan);
+      as.bind(found);
+      as.load(r12, r8, L::kVcpuId);
+      as.store(r11, r12, L::kDomEvtchnVcpu);
+      as.mov(rax, r10);
+      as.ret();
+      as.bind(full);
+      as.movi(rax, -28);  // -ENOSPC
+      as.ret();
+      // EVTCHNOP_send.
+      as.bind(send);
+      as.mov(r10, r9);
+      as.mov(r11, rsi);
+      as.call("evtchn_set_pending");
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_physdev_op", [&] {
+      a_le(rdi, kNumIrqLines - 1, kAssertIrqLine);
+      as.load(r10, r9, L::kDomId);
+      as.shli(r10, 8);
+      as.add(r10, rsi);
+      as.mov(r11, rbp);
+      as.add(r11, rdi);
+      as.store(r11, r10, L::kHvIrqTable);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_hvm_op", [&] {
+      a_le(rdi, 3, kAssertHvmParam);
+      as.mov(r10, r9);
+      as.add(r10, rdi);
+      as.store(r10, rsi, L::kDomHvmParams);
+      as.movi(rax, 0);
+      as.ret();
+    });
+
+    handler("hypercall_sysctl", [&] {
+      as.movi(r10, 0);
+      as.movi(rax, 0);
+      auto loop = as.here();
+      auto done = as.make_label();
+      as.cmpi(r10, opt_.num_domains - 1);
+      as.jg(done);
+      as.mov(r11, r10);
+      as.shli(r11, 6);
+      as.addi(r11, static_cast<std::int64_t>(L::kDomainBase));
+      as.load(r12, r11, L::kDomTotPages);
+      as.add(rax, r12);
+      as.inc(r10);
+      as.jmp(loop);
+      as.bind(done);
+      as.ret();
+    });
+
+    handler("hypercall_domctl", [&] {
+      const int num_vcpus = opt_.num_domains * opt_.vcpus_per_domain;
+      auto denied = as.make_label();
+      auto pause = as.make_label();
+      auto unpause = as.make_label();
+      as.load(r10, r9, L::kDomIsPrivileged);
+      as.cmpi(r10, 1);
+      as.jne(denied);
+      a_le(rsi, opt_.num_domains - 1, kAssertDomainIndex);
+      as.mov(r10, rsi);
+      as.shli(r10, 6);
+      as.addi(r10, static_cast<std::int64_t>(L::kDomainBase));
+      as.cmpi(rdi, 0);
+      as.je(pause);
+      as.cmpi(rdi, 1);
+      as.je(unpause);
+      // DOMCTL_getdomaininfo.
+      as.load(r11, r10, L::kDomId);
+      as.shli(r11, 32);
+      as.load(r12, r10, L::kDomTotPages);
+      as.add(r11, r12);
+      as.mov(rax, r11);
+      as.ret();
+      as.bind(pause);
+      emit_domctl_setstate(num_vcpus, L::kVcpuStateBlocked);
+      as.bind(unpause);
+      emit_domctl_setstate(num_vcpus, L::kVcpuStateRunning);
+      as.bind(denied);
+      as.movi(rax, -1);
+      as.ret();
+    });
+
+    handler("hypercall_kexec_op", [&] {
+      auto bad = as.make_label();
+      as.load(r10, r9, L::kDomGuestRam);
+      as.cmp(rdi, r10);
+      as.jb(bad);
+      as.mov(r11, r10);
+      as.addi(r11, static_cast<std::int64_t>(L::kGuestRamStride));
+      as.cmp(rdi, r11);
+      as.jae(bad);
+      as.store(rbp, rdi, L::kHvKexecImage);
+      as.movi(rax, 0);
+      as.ret();
+      as.bind(bad);
+      as.movi(rax, -22);
+      as.ret();
+    });
+
+    handler("hypercall_tmem_op", [&] {
+      // A compute-heavy body: FNV-style hash over the request buffer.
+      as.load(r10, r9, L::kDomGuestRam);
+      as.movi(rax, 0x9e37);
+      as.movi(r11, 0);
+      as.mov(r12, rdi);
+      as.andi(r12, 0x3f);
+      auto loop = as.here();
+      auto done = as.make_label();
+      as.cmp(r11, r12);
+      as.jge(done);
+      as.mov(r13, r11);
+      as.add(r13, r10);
+      as.load(r14, r13, L::kGuestReqBuffer);
+      as.xor_(rax, r14);
+      as.movi(r15, 1099511628211);
+      as.mul(rax, r15);
+      as.inc(r11);
+      as.jmp(loop);
+      as.bind(done);
+      as.ret();
+    });
+  }
+
+  /// Shared tail for domctl pause/unpause: walk every VCPU and set the
+  /// state of those owned by the target domain (address in r10).
+  void emit_domctl_setstate(int num_vcpus, std::int64_t state) {
+    as.movi(r11, 0);
+    auto loop = as.here();
+    auto done = as.make_label();
+    auto next = as.make_label();
+    as.cmpi(r11, num_vcpus - 1);
+    as.jg(done);
+    as.mov(r12, r11);
+    as.shli(r12, 6);
+    as.addi(r12, static_cast<std::int64_t>(L::kVcpuBase));
+    as.load(r13, r12, L::kVcpuDomain);
+    as.cmp(r13, r10);
+    as.jne(next);
+    as.movi(r14, state);
+    as.store(r12, r14, L::kVcpuState);
+    as.bind(next);
+    as.inc(r11);
+    as.jmp(loop);
+    as.bind(done);
+    as.movi(rax, 0);
+    as.ret();
+  }
+};
+
+}  // namespace
+
+std::string assert_name(std::uint32_t id) {
+  switch (id) {
+    case kAssertTrapVector: return "trap_vector_le_last";
+    case kAssertIdleVcpu: return "is_idle_vcpu_before_idle";
+    case kAssertEvtchnPort: return "evtchn_port_bounds";
+    case kAssertRunqBounds: return "runq_capacity";
+    case kAssertIrqLine: return "irq_line_bounds";
+    case kAssertMmuCount: return "mmu_update_batch";
+    case kAssertGdtEntries: return "set_gdt_entries";
+    case kAssertDebugregIndex: return "debugreg_index";
+    case kAssertPagesLimit: return "tot_pages_le_max_pages";
+    case kAssertGrantRef: return "grant_ref_bounds";
+    case kAssertVcpuIndex: return "vcpu_index_bounds";
+    case kAssertConsoleCount: return "console_batch";
+    case kAssertMulticallCount: return "multicall_batch";
+    case kAssertMulticallIndex: return "multicall_target";
+    case kAssertTrapTableCount: return "trap_table_batch";
+    case kAssertDescriptorIndex: return "descriptor_index";
+    case kAssertHvmParam: return "hvm_param_index";
+    case kAssertTaskletQueue: return "tasklet_queue_bounds";
+    case kAssertDomainIndex: return "domain_index_bounds";
+    case kAssertTimeMonotonic: return "system_time_monotonic";
+    case kAssertCurrentVcpu: return "current_vcpu_pointer";
+    case kAssertRunqEntry: return "runq_entry_valid";
+    case kAssertPtFixup: return "pt_fixup_nonzero";
+    case kAssertTscDelta: return "tsc_delta_bounded";
+    default: return "unknown_assert_" + std::to_string(id);
+  }
+}
+
+std::vector<sim::Addr> Microvisor::hypercall_body_table() const {
+  std::vector<sim::Addr> table(kNumHypercalls, 0);
+  // Only argument-compatible, non-scheduling bodies are multicall-safe,
+  // matching how real multicall batches are used (timer, fpu, debugreg,
+  // version queries).
+  const Hypercall safe[] = {Hypercall::fpu_taskswitch, Hypercall::get_debugreg,
+                            Hypercall::set_timer_op, Hypercall::xen_version};
+  for (Hypercall h : safe) {
+    const std::string sym =
+        "hypercall_" + std::string(hypercall_name(h)) + "_body";
+    table[static_cast<std::size_t>(h)] = program.symbol(sym);
+  }
+  return table;
+}
+
+Microvisor build_microvisor(const MicrovisorOptions& options) {
+  if (options.num_domains < 1 || options.num_domains > L::kMaxDomains) {
+    throw std::invalid_argument("build_microvisor: bad num_domains");
+  }
+  if (options.vcpus_per_domain < 1 ||
+      options.num_domains * options.vcpus_per_domain + 1 > L::kMaxVcpus) {
+    throw std::invalid_argument("build_microvisor: bad vcpus_per_domain");
+  }
+  Emitter emitter(options);
+  return Microvisor{emitter.emit(), options};
+}
+
+}  // namespace xentry::hv

@@ -1,0 +1,108 @@
+// The microvisor: a miniature para-virtualized hypervisor whose entry
+// points are programs in the simulated ISA.
+//
+// Every handler the paper's Section IV enumerates is emitted as real code:
+// 38 hypercalls, 19 exception handlers, 10 APIC interrupt handlers, the
+// device-IRQ path, softirqs and tasklets — plus shared subroutines
+// (ret_to_guest, evtchn_set_pending, update_time, schedule,
+// inject_guest_event).  Because handlers execute instruction by
+// instruction, an injected register bit flip perturbs them exactly the way
+// the paper describes: corrupted loop counters add dynamic instructions
+// (Fig. 5a), corrupted flags take valid-but-wrong branches (Fig. 5b),
+// corrupted pointers fault, and corrupted data reaches guest-visible state.
+//
+// Register conventions (set up by the Machine dispatcher at VM exit):
+//   rbp        = hypervisor data base (layout::kHvDataBase)
+//   r8         = current VCPU struct address
+//   r9         = current domain struct address
+//   rdi/rsi/rdx = activation arguments 1..3
+//   rax        = handler return value (stored to the guest's rax save slot
+//                by ret_to_guest)
+// Handler wrappers are `<symbol>: call <symbol>_body; jmp ret_to_guest`;
+// bodies are `ret`-terminated so multicall can invoke them indirectly
+// through the in-memory hypercall table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hv/exit_reason.hpp"
+#include "sim/program.hpp"
+
+namespace xentry::hv {
+
+/// Identifiers of the software assertions compiled into the microvisor.
+/// The first two mirror the paper's Listings 1 and 2.
+enum AssertId : std::uint32_t {
+  kAssertTrapVector = 1,     ///< Listing 1: trap vector <= LAST
+  kAssertIdleVcpu,           ///< Listing 2: is_idle_vcpu before idling pcpu
+  kAssertEvtchnPort,         ///< event-channel port within table bounds
+  kAssertRunqBounds,         ///< runqueue insertion within capacity
+  kAssertIrqLine,            ///< IRQ line within the interrupt table
+  kAssertMmuCount,           ///< mmu_update batch within limits
+  kAssertGdtEntries,         ///< set_gdt entry count within the GDT
+  kAssertDebugregIndex,      ///< debug register index 0..7
+  kAssertPagesLimit,         ///< tot_pages <= max_pages after memory_op
+  kAssertGrantRef,           ///< grant reference within the grant table
+  kAssertVcpuIndex,          ///< vcpu_op target within the domain
+  kAssertConsoleCount,       ///< console_io batch within the ring
+  kAssertMulticallCount,     ///< multicall batch limit
+  kAssertMulticallIndex,     ///< multicall target hypercall number
+  kAssertTrapTableCount,     ///< set_trap_table batch limit
+  kAssertDescriptorIndex,    ///< update_descriptor slot 0..7
+  kAssertHvmParam,           ///< hvm_op parameter index
+  kAssertTaskletQueue,       ///< tasklet queue occupancy
+  kAssertDomainIndex,        ///< foreign-domain index within bounds
+  kAssertTimeMonotonic,      ///< system time never goes backwards
+  kAssertCurrentVcpu,        ///< current-vcpu pointer within the vcpu table
+  kAssertRunqEntry,          ///< runqueue entries are valid vcpu indices
+  kAssertPtFixup,            ///< page-fault fixup translation is nonzero
+  kAssertTscDelta,           ///< duplicated time reads agree (extension)
+  kAssertMaxId,              ///< one past the last valid id
+};
+
+std::string assert_name(std::uint32_t id);
+
+struct MicrovisorOptions {
+  int num_domains = 3;       ///< Dom0 + two DomUs (the paper's Simics setup)
+  int vcpus_per_domain = 1;
+  /// Emit the software assertions (the runtime-detection half that lives
+  /// in code).  Turning them off yields the "no runtime detection"
+  /// baseline for the overhead study.
+  bool assertions = true;
+  /// Extension (paper Section VI): duplicate time reads in update_time and
+  /// verify their variation, catching corrupted time values before they
+  /// are published to guests.
+  bool time_checks = false;
+  /// Extension (paper Section VI): selective redundancy for stack values —
+  /// every pushed word is mirrored and verified on pop.  Implemented at
+  /// the machine level (the compiler-inserted-duplication equivalent).
+  bool shadow_stack = false;
+};
+
+struct Microvisor {
+  sim::Program program;
+  MicrovisorOptions options;
+
+  /// Total vcpus across guest domains (excluding the idle vcpu).
+  int num_vcpus() const {
+    return options.num_domains * options.vcpus_per_domain;
+  }
+  /// The reserved idle VCPU slot index.
+  int idle_vcpu() const { return num_vcpus(); }
+
+  /// Entry address for an exit reason.
+  sim::Addr entry(const ExitReason& reason) const {
+    return program.symbol(std::string(handler_symbol(reason)));
+  }
+
+  /// Addresses of the `_body` symbols, indexed by hypercall number, for
+  /// initializing the in-memory hypercall table.
+  std::vector<sim::Addr> hypercall_body_table() const;
+};
+
+/// Assembles the complete microvisor text.
+Microvisor build_microvisor(const MicrovisorOptions& options = {});
+
+}  // namespace xentry::hv

@@ -1,0 +1,272 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace xentry::ml {
+
+TreeParams random_tree_params(std::size_t num_features, std::uint64_t seed) {
+  TreeParams p;
+  p.random_features = static_cast<int>(std::floor(
+                          std::log2(static_cast<double>(num_features)))) +
+                      1;
+  p.seed = seed;
+  return p;
+}
+
+void DecisionTree::train(const Dataset& data, const TreeParams& params) {
+  if (data.empty()) {
+    throw std::invalid_argument("DecisionTree::train: empty dataset");
+  }
+  nodes_.clear();
+  params_ = params;
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  std::mt19937_64 rng(params.seed);
+  build(data, rows, 0, rng);
+}
+
+std::int32_t DecisionTree::make_leaf(const ClassCounts& counts) {
+  TreeNode leaf;
+  leaf.counts = counts;
+  leaf.label = counts.incorrect > counts.correct ? Label::Incorrect
+                                                 : Label::Correct;
+  nodes_.push_back(leaf);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::optional<DecisionTree::Split> DecisionTree::best_split(
+    const Dataset& data, std::span<const std::size_t> rows,
+    const ClassCounts& total, std::mt19937_64& rng) const {
+  // Candidate features: all, or a random subset (RandomTree).
+  std::vector<int> features(data.num_features());
+  std::iota(features.begin(), features.end(), 0);
+  if (params_.random_features > 0 &&
+      static_cast<std::size_t>(params_.random_features) < features.size()) {
+    std::shuffle(features.begin(), features.end(), rng);
+    features.resize(static_cast<std::size_t>(params_.random_features));
+  }
+
+  Split best;
+  std::vector<std::pair<std::int64_t, Label>> column(rows.size());
+  for (int f : features) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      column[i] = {data.value(rows[i], static_cast<std::size_t>(f)),
+                   data.label(rows[i])};
+    }
+    std::sort(column.begin(), column.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    // Scan boundaries between distinct values; left accumulates counts of
+    // everything <= the candidate threshold.
+    ClassCounts left;
+    for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+      if (column[i].second == Label::Correct) ++left.correct;
+      else ++left.incorrect;
+      if (column[i].first == column[i + 1].first) continue;
+      if (left.total() < params_.min_samples_leaf ||
+          (total - left).total() < params_.min_samples_leaf) {
+        continue;
+      }
+      const double gain = information_gain(total, left);
+      if (gain > best.gain) {
+        // Midpoint threshold, rounded down: everything <= threshold goes
+        // left, which the integer midpoint preserves for the sorted pair.
+        best.gain = gain;
+        best.feature = f;
+        best.threshold =
+            column[i].first + (column[i + 1].first - column[i].first) / 2;
+      }
+    }
+  }
+  if (best.feature < 0 || best.gain <= params_.min_gain) return std::nullopt;
+  return best;
+}
+
+std::int32_t DecisionTree::build(const Dataset& data,
+                                 std::vector<std::size_t>& rows, int depth,
+                                 std::mt19937_64& rng) {
+  ClassCounts total;
+  for (std::size_t r : rows) {
+    if (data.label(r) == Label::Correct) ++total.correct;
+    else ++total.incorrect;
+  }
+  if (total.pure() || depth >= params_.max_depth ||
+      rows.size() < 2 * params_.min_samples_leaf) {
+    return make_leaf(total);
+  }
+  const auto split = best_split(data, rows, total, rng);
+  if (!split) return make_leaf(total);
+
+  std::vector<std::size_t> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (std::size_t r : rows) {
+    const std::int64_t v =
+        data.value(r, static_cast<std::size_t>(split->feature));
+    (v <= split->threshold ? left_rows : right_rows).push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return make_leaf(total);
+  rows.clear();
+  rows.shrink_to_fit();
+
+  // Reserve this node's slot before recursing so children index correctly.
+  const auto idx = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(idx)].feature = split->feature;
+  nodes_[static_cast<std::size_t>(idx)].threshold = split->threshold;
+  nodes_[static_cast<std::size_t>(idx)].counts = total;
+  const std::int32_t l = build(data, left_rows, depth + 1, rng);
+  const std::int32_t r = build(data, right_rows, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(idx)].left = l;
+  nodes_[static_cast<std::size_t>(idx)].right = r;
+  return idx;
+}
+
+Label DecisionTree::predict(std::span<const std::int64_t> features,
+                            int* comparisons) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict: untrained model");
+  }
+  int cmps = 0;
+  std::size_t idx = 0;
+  while (!nodes_[idx].is_leaf()) {
+    const TreeNode& n = nodes_[idx];
+    ++cmps;
+    idx = static_cast<std::size_t>(
+        features[static_cast<std::size_t>(n.feature)] <= n.threshold
+            ? n.left
+            : n.right);
+  }
+  if (comparisons != nullptr) *comparisons = cmps;
+  return nodes_[idx].label;
+}
+
+std::size_t DecisionTree::prune_reduced_error(const Dataset& validation) {
+  if (nodes_.empty()) {
+    throw std::logic_error("prune_reduced_error: untrained tree");
+  }
+  // Per-node validation class counts, gathered by routing every row.
+  std::vector<ClassCounts> reach(nodes_.size());
+  for (std::size_t r = 0; r < validation.size(); ++r) {
+    const auto row = validation.row(r);
+    std::size_t idx = 0;
+    for (;;) {
+      if (validation.label(r) == Label::Correct) ++reach[idx].correct;
+      else ++reach[idx].incorrect;
+      const TreeNode& n = nodes_[idx];
+      if (n.is_leaf()) break;
+      idx = static_cast<std::size_t>(
+          row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                  : n.right);
+    }
+  }
+
+  // Children are always appended after their parent, so a reverse index
+  // sweep is bottom-up.  subtree_errors[i] = validation mistakes of the
+  // (possibly already pruned) subtree rooted at i.
+  std::vector<std::size_t> subtree_errors(nodes_.size(), 0);
+  std::size_t pruned = 0;
+  auto leaf_errors = [&](std::size_t i, Label majority) {
+    return majority == Label::Correct ? reach[i].incorrect
+                                      : reach[i].correct;
+  };
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    TreeNode& n = nodes_[i];
+    if (n.is_leaf()) {
+      subtree_errors[i] = leaf_errors(i, n.label);
+      continue;
+    }
+    const std::size_t as_subtree =
+        subtree_errors[static_cast<std::size_t>(n.left)] +
+        subtree_errors[static_cast<std::size_t>(n.right)];
+    const Label majority = n.counts.incorrect > n.counts.correct
+                               ? Label::Incorrect
+                               : Label::Correct;
+    const std::size_t as_leaf = leaf_errors(i, majority);
+    if (as_leaf <= as_subtree) {
+      n.feature = -1;
+      n.left = n.right = -1;
+      n.label = majority;
+      subtree_errors[i] = as_leaf;
+      ++pruned;
+    } else {
+      subtree_errors[i] = as_subtree;
+    }
+  }
+  // Collapsed children remain in the vector as unreachable nodes; depth,
+  // leaf_count and prediction all follow links, so they are inert.
+  return pruned;
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  if (nodes_.empty()) return 0;
+  // Walk from the root: pruning can orphan nodes that stay in the vector.
+  std::size_t n = 0;
+  std::vector<std::size_t> stack{0};
+  while (!stack.empty()) {
+    const std::size_t idx = stack.back();
+    stack.pop_back();
+    const TreeNode& node = nodes_[idx];
+    if (node.is_leaf()) {
+      ++n;
+      continue;
+    }
+    stack.push_back(static_cast<std::size_t>(node.left));
+    stack.push_back(static_cast<std::size_t>(node.right));
+  }
+  return n;
+}
+
+int DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth via explicit stack of (node, depth).
+  int max_depth = 0;
+  std::vector<std::pair<std::size_t, int>> stack{{0, 1}};
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const TreeNode& n = nodes_[idx];
+    if (!n.is_leaf()) {
+      stack.emplace_back(static_cast<std::size_t>(n.left), d + 1);
+      stack.emplace_back(static_cast<std::size_t>(n.right), d + 1);
+    }
+  }
+  return max_depth;
+}
+
+namespace {
+
+void print_node(const std::vector<TreeNode>& nodes,
+                const std::vector<std::string>& names, std::size_t idx,
+                int indent, std::ostringstream& os) {
+  const TreeNode& n = nodes[idx];
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (n.is_leaf()) {
+    os << pad << (n.label == Label::Incorrect ? "Incorrect" : "Correct")
+       << " (" << n.counts.correct << '/' << n.counts.incorrect << ")\n";
+    return;
+  }
+  os << pad << names[static_cast<std::size_t>(n.feature)]
+     << " <= " << n.threshold << "?\n";
+  print_node(nodes, names, static_cast<std::size_t>(n.left), indent + 1, os);
+  os << pad << names[static_cast<std::size_t>(n.feature)] << " > "
+     << n.threshold << "?\n";
+  print_node(nodes, names, static_cast<std::size_t>(n.right), indent + 1, os);
+}
+
+}  // namespace
+
+std::string DecisionTree::to_string(
+    const std::vector<std::string>& feature_names) const {
+  std::ostringstream os;
+  if (nodes_.empty()) return "(untrained)";
+  print_node(nodes_, feature_names, 0, 0, os);
+  return os.str();
+}
+
+}  // namespace xentry::ml

@@ -1,0 +1,97 @@
+// Binary decision tree with numeric thresholds, plus the RandomTree
+// variant used by the paper.
+//
+// Splits have the form `feature <= threshold` (go left when true); leaves
+// carry the majority label and the training class counts.  RandomTree
+// differs only in considering a random subset of floor(log2(F)) + 1
+// candidate features at each node (Section III-B: "three in our case" for
+// the five features of Table I).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/entropy.hpp"
+
+namespace xentry::ml {
+
+struct TreeNode {
+  // Internal nodes: feature >= 0 and left/right are node indices.
+  // Leaves: feature == -1 and `label` is the prediction.
+  std::int32_t feature = -1;
+  std::int64_t threshold = 0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  Label label = Label::Correct;
+  ClassCounts counts;  ///< training samples that reached this node
+
+  bool is_leaf() const { return feature < 0; }
+};
+
+struct TreeParams {
+  int max_depth = 24;
+  std::size_t min_samples_leaf = 1;
+  double min_gain = 1e-12;
+  /// Number of candidate features sampled per split; 0 means "all" (the
+  /// plain decision tree).  RandomTree uses floor(log2(F)) + 1.
+  int random_features = 0;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree {
+ public:
+  /// Fits the tree to `data`.  Any previous model is discarded.
+  void train(const Dataset& data, const TreeParams& params = {});
+
+  /// Predicts the label for one feature vector.  If `comparisons` is
+  /// non-null it receives the number of integer comparisons performed —
+  /// the cost Xentry pays per VM entry.
+  Label predict(std::span<const std::int64_t> features,
+                int* comparisons = nullptr) const;
+
+  bool trained() const { return !nodes_.empty(); }
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  std::size_t leaf_count() const;
+  int depth() const;
+
+  /// Pretty-prints the tree using the dataset's feature names, in the
+  /// style of the paper's Fig. 6.
+  std::string to_string(const std::vector<std::string>& feature_names) const;
+
+  /// Reduced-error pruning: bottom-up, replaces a subtree by its
+  /// training-majority leaf whenever the `validation` set makes the leaf
+  /// at least as accurate as the subtree (J48-style post-pruning; the
+  /// likely source of the paper's DecisionTree-vs-RandomTree gap).
+  /// Subtrees no validation sample reaches are collapsed.  Returns the
+  /// number of internal nodes removed.
+  std::size_t prune_reduced_error(const Dataset& validation);
+
+ private:
+  struct Split {
+    int feature = -1;
+    std::int64_t threshold = 0;
+    double gain = 0.0;
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& rows,
+                     int depth, std::mt19937_64& rng);
+  std::optional<Split> best_split(const Dataset& data,
+                                  std::span<const std::size_t> rows,
+                                  const ClassCounts& total,
+                                  std::mt19937_64& rng) const;
+  std::int32_t make_leaf(const ClassCounts& counts);
+
+  std::vector<TreeNode> nodes_;
+  TreeParams params_;
+};
+
+/// Convenience factory: the paper's RandomTree configuration for a dataset
+/// with F features (floor(log2(F)) + 1 random candidates per node).
+TreeParams random_tree_params(std::size_t num_features, std::uint64_t seed);
+
+}  // namespace xentry::ml

@@ -1,0 +1,24 @@
+#include "ml/entropy.hpp"
+
+#include <cmath>
+
+namespace xentry::ml {
+
+double entropy(const ClassCounts& c) {
+  const std::size_t n = c.total();
+  if (n == 0 || c.pure()) return 0.0;
+  const double p = static_cast<double>(c.correct) / static_cast<double>(n);
+  const double q = 1.0 - p;
+  return -(p * std::log2(p) + q * std::log2(q));
+}
+
+double information_gain(const ClassCounts& total, const ClassCounts& left) {
+  const std::size_t n = total.total();
+  if (n == 0) return 0.0;
+  const ClassCounts right = total - left;
+  const double pl = static_cast<double>(left.total()) / static_cast<double>(n);
+  const double pr = 1.0 - pl;
+  return entropy(total) - (pl * entropy(left) + pr * entropy(right));
+}
+
+}  // namespace xentry::ml

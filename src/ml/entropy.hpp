@@ -1,0 +1,38 @@
+// Entropy and information-gain computations (paper Section III-B).
+//
+// The splitting procedure during tree construction maximizes the expected
+// entropy deduction D(T, T_L, T_R) = Entropy(T) - (P_L * Entropy(T_L) +
+// P_R * Entropy(T_R)) over candidate cut points.
+#pragma once
+
+#include <cstddef>
+
+namespace xentry::ml {
+
+/// Class-count pair for the binary (correct/incorrect) problem.
+struct ClassCounts {
+  std::size_t correct = 0;
+  std::size_t incorrect = 0;
+
+  std::size_t total() const { return correct + incorrect; }
+  bool pure() const { return correct == 0 || incorrect == 0; }
+
+  ClassCounts& operator+=(const ClassCounts& o) {
+    correct += o.correct;
+    incorrect += o.incorrect;
+    return *this;
+  }
+  ClassCounts operator-(const ClassCounts& o) const {
+    return {correct - o.correct, incorrect - o.incorrect};
+  }
+};
+
+/// Shannon entropy (bits) of a two-class distribution.  Empty sets have
+/// zero entropy.
+double entropy(const ClassCounts& c);
+
+/// Expected entropy deduction of splitting `total` into `left` and
+/// `total - left`.
+double information_gain(const ClassCounts& total, const ClassCounts& left);
+
+}  // namespace xentry::ml

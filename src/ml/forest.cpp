@@ -1,0 +1,45 @@
+#include "ml/forest.hpp"
+
+#include <stdexcept>
+
+namespace xentry::ml {
+
+void RandomForest::train(const Dataset& data, const Params& params) {
+  if (params.num_trees <= 0) {
+    throw std::invalid_argument("RandomForest: num_trees must be positive");
+  }
+  trees_.clear();
+  std::mt19937_64 rng(params.seed);
+  TreeParams tp = params.tree;
+  if (tp.random_features == 0) {
+    tp.random_features =
+        random_tree_params(data.num_features(), 0).random_features;
+  }
+  for (int i = 0; i < params.num_trees; ++i) {
+    Dataset bag = data.bootstrap(rng);
+    tp.seed = rng();
+    DecisionTree tree;
+    tree.train(bag, tp);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+Label RandomForest::predict(std::span<const std::int64_t> features,
+                            int* comparisons) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::predict: untrained model");
+  }
+  int votes_incorrect = 0;
+  int total_cmps = 0;
+  for (const DecisionTree& t : trees_) {
+    int c = 0;
+    if (t.predict(features, &c) == Label::Incorrect) ++votes_incorrect;
+    total_cmps += c;
+  }
+  if (comparisons != nullptr) *comparisons = total_cmps;
+  return 2 * votes_incorrect >= static_cast<int>(trees_.size())
+             ? Label::Incorrect
+             : Label::Correct;
+}
+
+}  // namespace xentry::ml

@@ -1,0 +1,40 @@
+// Bagged ensemble of RandomTrees (majority vote).
+//
+// An extension beyond the paper's single RandomTree: the paper's future
+// work asks for lower false-positive rates, and bagging is the natural
+// low-cost step — each tree is still integer-compare-only, so a small
+// forest remains cheap enough for the VM-entry hot path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace xentry::ml {
+
+class RandomForest {
+ public:
+  struct Params {
+    int num_trees = 15;
+    TreeParams tree;  ///< random_features filled from the dataset if 0
+    std::uint64_t seed = 1;
+  };
+
+  void train(const Dataset& data, const Params& params);
+
+  /// Majority vote across trees; ties go to Incorrect (fail-safe: a
+  /// suspicious VM entry is worth a cheap re-execution).
+  Label predict(std::span<const std::int64_t> features,
+                int* comparisons = nullptr) const;
+
+  bool trained() const { return !trees_.empty(); }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace xentry::ml

@@ -1,0 +1,62 @@
+#include "ml/metrics.hpp"
+
+#include <sstream>
+
+namespace xentry::ml {
+
+namespace {
+double ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double ConfusionMatrix::accuracy() const {
+  return ratio(true_positive + true_negative, total());
+}
+
+double ConfusionMatrix::false_positive_rate() const {
+  return ratio(false_positive, false_positive + true_negative);
+}
+
+double ConfusionMatrix::false_negative_rate() const {
+  return ratio(false_negative, false_negative + true_positive);
+}
+
+double ConfusionMatrix::precision() const {
+  return ratio(true_positive, true_positive + false_positive);
+}
+
+double ConfusionMatrix::recall() const {
+  return ratio(true_positive, true_positive + false_negative);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "            pred:correct  pred:incorrect\n"
+     << "  correct   " << true_negative << "  " << false_positive << "\n"
+     << "  incorrect " << false_negative << "  " << true_positive << "\n"
+     << "  accuracy=" << accuracy() * 100.0
+     << "% fp_rate=" << false_positive_rate() * 100.0
+     << "% fn_rate=" << false_negative_rate() * 100.0 << "%";
+  return os.str();
+}
+
+ConfusionMatrix evaluate(
+    const Dataset& data,
+    const std::function<Label(std::span<const std::int64_t>)>& predict) {
+  ConfusionMatrix m;
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    const Label truth = data.label(r);
+    const Label pred = predict(data.row(r));
+    if (truth == Label::Incorrect) {
+      if (pred == Label::Incorrect) ++m.true_positive;
+      else ++m.false_negative;
+    } else {
+      if (pred == Label::Incorrect) ++m.false_positive;
+      else ++m.true_negative;
+    }
+  }
+  return m;
+}
+
+}  // namespace xentry::ml

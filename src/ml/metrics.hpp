@@ -1,0 +1,45 @@
+// Classifier evaluation metrics.
+//
+// The paper reports accuracy (RandomTree 98.6% vs DecisionTree 96.1%) and
+// a false-positive rate (0.7%) used later to cost out recovery overhead
+// (Section VI).  "Positive" here means classified Incorrect.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace xentry::ml {
+
+struct ConfusionMatrix {
+  // Rows: ground truth; columns: prediction.
+  std::size_t true_positive = 0;   ///< incorrect classified incorrect
+  std::size_t false_negative = 0;  ///< incorrect classified correct
+  std::size_t false_positive = 0;  ///< correct classified incorrect
+  std::size_t true_negative = 0;   ///< correct classified correct
+
+  std::size_t total() const {
+    return true_positive + false_negative + false_positive + true_negative;
+  }
+  double accuracy() const;
+  /// Fraction of genuinely-correct executions flagged as incorrect: the
+  /// rate that triggers unnecessary recovery.
+  double false_positive_rate() const;
+  /// Fraction of genuinely-incorrect executions missed.
+  double false_negative_rate() const;
+  double precision() const;
+  double recall() const;
+
+  std::string to_string() const;
+};
+
+/// Evaluates a predictor over a dataset.  The predictor maps a feature row
+/// to a Label (any trained model: DecisionTree, RuleSet, Forest).
+ConfusionMatrix evaluate(
+    const Dataset& data,
+    const std::function<Label(std::span<const std::int64_t>)>& predict);
+
+}  // namespace xentry::ml

@@ -1,0 +1,107 @@
+#include "ml/rules.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace xentry::ml {
+
+RuleSet RuleSet::compile(const DecisionTree& tree) {
+  if (!tree.trained()) {
+    throw std::invalid_argument("RuleSet::compile: untrained tree");
+  }
+  const auto& nodes = tree.nodes();
+  if (nodes.size() > static_cast<std::size_t>(
+                         std::numeric_limits<std::int16_t>::max())) {
+    throw std::invalid_argument("RuleSet::compile: tree too large");
+  }
+  RuleSet rs;
+  rs.rules_.reserve(nodes.size());
+  for (const TreeNode& n : nodes) {
+    Rule r;
+    if (n.is_leaf()) {
+      r.feature = -1;
+      r.leaf_label = n.label == Label::Incorrect ? 1 : 0;
+    } else {
+      r.feature = static_cast<std::int16_t>(n.feature);
+      r.threshold = n.threshold;
+      r.on_true = static_cast<std::int16_t>(n.left);
+      r.on_false = static_cast<std::int16_t>(n.right);
+    }
+    rs.rules_.push_back(r);
+  }
+  return rs;
+}
+
+Label RuleSet::evaluate(std::span<const std::int64_t> features,
+                        int* comparisons) const {
+  if (rules_.empty()) {
+    throw std::logic_error("RuleSet::evaluate: empty rule set");
+  }
+  int cmps = 0;
+  std::size_t idx = 0;
+  while (rules_[idx].feature >= 0) {
+    const Rule& r = rules_[idx];
+    ++cmps;
+    idx = static_cast<std::size_t>(
+        features[static_cast<std::size_t>(r.feature)] <= r.threshold
+            ? r.on_true
+            : r.on_false);
+  }
+  if (comparisons != nullptr) *comparisons = cmps;
+  return rules_[idx].leaf_label != 0 ? Label::Incorrect : Label::Correct;
+}
+
+int RuleSet::max_comparisons() const {
+  if (rules_.empty()) return 0;
+  // Depth-first longest path; the rule graph is a tree, so no visited set.
+  int best = 0;
+  std::vector<std::pair<std::size_t, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    const Rule& r = rules_[idx];
+    if (r.feature < 0) {
+      best = std::max(best, d);
+      continue;
+    }
+    stack.emplace_back(static_cast<std::size_t>(r.on_true), d + 1);
+    stack.emplace_back(static_cast<std::size_t>(r.on_false), d + 1);
+  }
+  return best;
+}
+
+std::string RuleSet::serialize() const {
+  std::ostringstream os;
+  for (const Rule& r : rules_) {
+    os << r.feature << ' ' << r.threshold << ' ' << r.on_true << ' '
+       << r.on_false << ' ' << static_cast<int>(r.leaf_label) << '\n';
+  }
+  return os.str();
+}
+
+RuleSet RuleSet::deserialize(const std::string& text) {
+  RuleSet rs;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    Rule r;
+    int feature = 0, on_true = 0, on_false = 0, leaf = 0;
+    if (!(ls >> feature >> r.threshold >> on_true >> on_false >> leaf)) {
+      throw std::runtime_error("RuleSet::deserialize: malformed rule line");
+    }
+    r.feature = static_cast<std::int16_t>(feature);
+    r.on_true = static_cast<std::int16_t>(on_true);
+    r.on_false = static_cast<std::int16_t>(on_false);
+    r.leaf_label = static_cast<std::uint8_t>(leaf);
+    rs.rules_.push_back(r);
+  }
+  if (rs.rules_.empty()) {
+    throw std::runtime_error("RuleSet::deserialize: no rules");
+  }
+  return rs;
+}
+
+}  // namespace xentry::ml

@@ -1,0 +1,80 @@
+#include "sim/assembler.hpp"
+
+#include <stdexcept>
+
+namespace xentry::sim {
+
+Assembler::Label Assembler::make_label() {
+  label_addr_.push_back(-1);
+  return Label{static_cast<std::uint32_t>(label_addr_.size() - 1)};
+}
+
+void Assembler::bind(Label l) {
+  if (l.id >= label_addr_.size()) {
+    throw std::out_of_range("Assembler::bind: unknown label");
+  }
+  if (label_addr_[l.id] != -1) {
+    throw std::logic_error("Assembler::bind: label bound twice");
+  }
+  label_addr_[l.id] = static_cast<std::int64_t>(current_addr());
+}
+
+Assembler::Label Assembler::here() {
+  Label l = make_label();
+  bind(l);
+  return l;
+}
+
+void Assembler::global(const std::string& name) {
+  if (!symbols_.emplace(name, current_addr()).second) {
+    throw std::logic_error("Assembler::global: duplicate symbol '" + name +
+                           "'");
+  }
+}
+
+void Assembler::pad_ud(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    emit({Opcode::Ud, Reg::rax, Reg::rax, 0, 0});
+  }
+}
+
+void Assembler::emit_branch(Opcode op, Label l) {
+  if (l.id >= label_addr_.size()) {
+    throw std::out_of_range("Assembler: branch to unknown label");
+  }
+  fixups_.push_back({code_.size(), l.id});
+  emit({op, Reg::rax, Reg::rax, 0, 0});
+}
+
+void Assembler::call(const std::string& sym) {
+  call_fixups_.push_back({code_.size(), sym});
+  emit({Opcode::Call, Reg::rax, Reg::rax, 0, 0});
+}
+
+void Assembler::jmp(const std::string& sym) {
+  call_fixups_.push_back({code_.size(), sym});
+  emit({Opcode::Jmp, Reg::rax, Reg::rax, 0, 0});
+}
+
+Program Assembler::finish() {
+  for (const Fixup& f : fixups_) {
+    const std::int64_t target = label_addr_[f.label];
+    if (target == -1) {
+      throw std::logic_error("Assembler::finish: unbound label");
+    }
+    code_[f.pos].imm = target;
+  }
+  for (const CallFixup& f : call_fixups_) {
+    auto it = symbols_.find(f.symbol);
+    if (it == symbols_.end()) {
+      throw std::logic_error("Assembler::finish: call to unknown symbol '" +
+                             f.symbol + "'");
+    }
+    code_[f.pos].imm = static_cast<std::int64_t>(it->second);
+  }
+  fixups_.clear();
+  call_fixups_.clear();
+  return Program(base_, std::move(code_), std::move(symbols_));
+}
+
+}  // namespace xentry::sim

@@ -1,0 +1,166 @@
+// A small two-pass assembler for the simulated ISA.
+//
+// The microvisor's handlers are written against this builder API; labels
+// are forward-referencable and resolved at finish().  Named symbols mark
+// handler entry points that the hypervisor dispatcher jumps to.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/isa.hpp"
+#include "sim/program.hpp"
+#include "sim/types.hpp"
+
+namespace xentry::sim {
+
+class Assembler {
+ public:
+  /// Opaque forward-referencable code location.
+  struct Label {
+    std::uint32_t id = 0;
+  };
+
+  explicit Assembler(Addr code_base) : base_(code_base) {}
+
+  // -- labels & symbols ----------------------------------------------------
+
+  Label make_label();
+  /// Binds `l` to the current position.
+  void bind(Label l);
+  /// Binds a fresh label here and returns it.
+  Label here();
+  /// Marks the current position as the named function entry.
+  void global(const std::string& name);
+  /// Emits `n` explicitly-invalid slots (inter-function padding).
+  void pad_ud(std::size_t n);
+
+  Addr current_addr() const { return base_ + code_.size(); }
+
+  // -- data movement ---------------------------------------------------------
+
+  void mov(Reg d, Reg s) { emit({Opcode::MovRR, d, s, 0, 0}); }
+  void movi(Reg d, std::int64_t imm) { emit({Opcode::MovRI, d, Reg::rax, imm, 0}); }
+  /// Loads a code address into a register (for manual indirect calls).
+  void movi(Reg d, Label l) {
+    fixups_.push_back({code_.size(), l.id});
+    emit({Opcode::MovRI, d, Reg::rax, 0, 0});
+  }
+  void load(Reg d, Reg base, std::int64_t disp = 0) {
+    emit({Opcode::Load, d, base, disp, 0});
+  }
+  void store(Reg base, Reg s, std::int64_t disp = 0) {
+    emit({Opcode::Store, base, s, disp, 0});
+  }
+  void push(Reg r) { emit({Opcode::Push, r, Reg::rax, 0, 0}); }
+  void pop(Reg r) { emit({Opcode::Pop, r, Reg::rax, 0, 0}); }
+
+  // -- ALU -------------------------------------------------------------------
+
+  void add(Reg d, Reg s) { emit({Opcode::AddRR, d, s, 0, 0}); }
+  void addi(Reg d, std::int64_t imm) { emit({Opcode::AddRI, d, Reg::rax, imm, 0}); }
+  void sub(Reg d, Reg s) { emit({Opcode::SubRR, d, s, 0, 0}); }
+  void subi(Reg d, std::int64_t imm) { emit({Opcode::SubRI, d, Reg::rax, imm, 0}); }
+  void mul(Reg d, Reg s) { emit({Opcode::MulRR, d, s, 0, 0}); }
+  void div(Reg s) { emit({Opcode::DivR, s, Reg::rax, 0, 0}); }
+  void and_(Reg d, Reg s) { emit({Opcode::AndRR, d, s, 0, 0}); }
+  void andi(Reg d, std::int64_t imm) { emit({Opcode::AndRI, d, Reg::rax, imm, 0}); }
+  void or_(Reg d, Reg s) { emit({Opcode::OrRR, d, s, 0, 0}); }
+  void ori(Reg d, std::int64_t imm) { emit({Opcode::OrRI, d, Reg::rax, imm, 0}); }
+  void xor_(Reg d, Reg s) { emit({Opcode::XorRR, d, s, 0, 0}); }
+  void xori(Reg d, std::int64_t imm) { emit({Opcode::XorRI, d, Reg::rax, imm, 0}); }
+  void shli(Reg d, std::int64_t imm) { emit({Opcode::ShlRI, d, Reg::rax, imm, 0}); }
+  void shri(Reg d, std::int64_t imm) { emit({Opcode::ShrRI, d, Reg::rax, imm, 0}); }
+  void shl(Reg d, Reg s) { emit({Opcode::ShlRR, d, s, 0, 0}); }
+  void shr(Reg d, Reg s) { emit({Opcode::ShrRR, d, s, 0, 0}); }
+  void neg(Reg d) { emit({Opcode::Neg, d, Reg::rax, 0, 0}); }
+  void not_(Reg d) { emit({Opcode::Not, d, Reg::rax, 0, 0}); }
+  void inc(Reg d) { emit({Opcode::Inc, d, Reg::rax, 0, 0}); }
+  void dec(Reg d) { emit({Opcode::Dec, d, Reg::rax, 0, 0}); }
+
+  // -- compare / test ----------------------------------------------------------
+
+  void cmp(Reg a, Reg b) { emit({Opcode::CmpRR, a, b, 0, 0}); }
+  void cmpi(Reg a, std::int64_t imm) { emit({Opcode::CmpRI, a, Reg::rax, imm, 0}); }
+  void test(Reg a, Reg b) { emit({Opcode::TestRR, a, b, 0, 0}); }
+  void testi(Reg a, std::int64_t imm) { emit({Opcode::TestRI, a, Reg::rax, imm, 0}); }
+
+  // -- control flow ------------------------------------------------------------
+
+  void jmp(Label l) { emit_branch(Opcode::Jmp, l); }
+  /// Jump to a named symbol (resolved at finish, forward references OK).
+  void jmp(const std::string& sym);
+  void jmp_reg(Reg r) { emit({Opcode::JmpR, r, Reg::rax, 0, 0}); }
+  void je(Label l) { emit_branch(Opcode::Je, l); }
+  void jne(Label l) { emit_branch(Opcode::Jne, l); }
+  void jl(Label l) { emit_branch(Opcode::Jl, l); }
+  void jle(Label l) { emit_branch(Opcode::Jle, l); }
+  void jg(Label l) { emit_branch(Opcode::Jg, l); }
+  void jge(Label l) { emit_branch(Opcode::Jge, l); }
+  void jb(Label l) { emit_branch(Opcode::Jb, l); }
+  void jae(Label l) { emit_branch(Opcode::Jae, l); }
+  void call(Label l) { emit_branch(Opcode::Call, l); }
+  void call(const std::string& sym);
+  void ret() { emit({Opcode::Ret, Reg::rax, Reg::rax, 0, 0}); }
+
+  // -- system ------------------------------------------------------------------
+
+  void rdtsc(Reg d) { emit({Opcode::Rdtsc, d, Reg::rax, 0, 0}); }
+  void hlt() { emit({Opcode::Hlt, Reg::rax, Reg::rax, 0, 0}); }
+  void nop() { emit({Opcode::Nop, Reg::rax, Reg::rax, 0, 0}); }
+
+  // -- software assertions -------------------------------------------------------
+
+  void assert_le(Reg r, std::int64_t imm, std::uint32_t id) {
+    emit({Opcode::AssertLeRI, r, Reg::rax, imm, id});
+  }
+  void assert_ge(Reg r, std::int64_t imm, std::uint32_t id) {
+    emit({Opcode::AssertGeRI, r, Reg::rax, imm, id});
+  }
+  void assert_eq(Reg r, std::int64_t imm, std::uint32_t id) {
+    emit({Opcode::AssertEqRI, r, Reg::rax, imm, id});
+  }
+  void assert_ne(Reg r, std::int64_t imm, std::uint32_t id) {
+    emit({Opcode::AssertNeRI, r, Reg::rax, imm, id});
+  }
+  void assert_eq(Reg a, Reg b, std::uint32_t id) {
+    emit({Opcode::AssertEqRR, a, b, 0, id});
+  }
+  void assert_lt(Reg a, Reg b, std::uint32_t id) {
+    emit({Opcode::AssertLtRR, a, b, 0, id});
+  }
+
+  /// Emits a pre-built instruction verbatim (no label resolution).  For
+  /// tooling and tests that need malformed or hand-crafted encodings.
+  void emit_raw(Instruction insn) { emit(insn); }
+
+  /// Resolves all label fixups and produces the final Program.  The
+  /// assembler must not be reused afterwards.
+  Program finish();
+
+  std::size_t size() const { return code_.size(); }
+
+ private:
+  void emit(Instruction insn) { code_.push_back(insn); }
+  void emit_branch(Opcode op, Label l);
+
+  struct Fixup {
+    std::size_t pos;       // instruction index whose imm needs patching
+    std::uint32_t label;
+  };
+  struct CallFixup {
+    std::size_t pos;
+    std::string symbol;
+  };
+
+  Addr base_;
+  std::vector<Instruction> code_;
+  std::vector<std::int64_t> label_addr_;  // -1 while unbound
+  std::vector<Fixup> fixups_;
+  std::vector<CallFixup> call_fixups_;
+  std::map<std::string, Addr> symbols_;
+};
+
+}  // namespace xentry::sim

@@ -1,0 +1,390 @@
+#include "sim/cpu.hpp"
+
+namespace xentry::sim {
+
+void Cpu::reset(Addr rip, Addr rsp) {
+  regs_.fill(0);
+  set_reg(Reg::rip, rip);
+  set_reg(Reg::rsp, rsp);
+  steps_ = 0;
+}
+
+void Cpu::set_flags_cmp(Word a, Word b) {
+  Word f = 0;
+  if (a == b) f |= kFlagZero;
+  if (static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b)) {
+    f |= kFlagSign;
+  }
+  if (a < b) f |= kFlagCarry;
+  set_reg(Reg::rflags, f);
+}
+
+void Cpu::set_flags_result(Word res) {
+  Word f = 0;
+  if (res == 0) f |= kFlagZero;
+  if (static_cast<std::int64_t>(res) < 0) f |= kFlagSign;
+  set_reg(Reg::rflags, f);
+}
+
+StepInfo Cpu::step() {
+  StepInfo info;
+  const Addr rip = reg(Reg::rip);
+  info.rip_before = rip;
+
+  if (!prog_->contains(rip)) {
+    info.status = StepInfo::Status::Trapped;
+    info.trap = Trap{TrapKind::PageFault, rip, 0};
+    return info;
+  }
+  const Instruction& insn = prog_->at(rip);
+  if (insn.op == Opcode::Ud) {
+    info.status = StepInfo::Status::Trapped;
+    info.trap = Trap{TrapKind::InvalidOpcode, rip, 0};
+    return info;
+  }
+
+  info.read_mask = regs_read(insn);
+  info.written_mask = regs_written(insn);
+
+  // Retire bookkeeping happens for every instruction that begins executing;
+  // a mid-instruction memory fault still counts as issued work for the
+  // trace, but a trapped instruction does not retire.
+  Addr next_rip = rip + 1;
+  Trap trap;
+
+  auto mem_read = [&](Addr a, Word& out) { trap = mem_->read(a, out); };
+  auto mem_write = [&](Addr a, Word v) { trap = mem_->write(a, v); };
+
+  switch (insn.op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::MovRR:
+      set_reg(insn.r1, reg(insn.r2));
+      break;
+    case Opcode::MovRI:
+      set_reg(insn.r1, static_cast<Word>(insn.imm));
+      break;
+    case Opcode::Load: {
+      Word v = 0;
+      mem_read(reg(insn.r2) + static_cast<Word>(insn.imm), v);
+      if (!trap) set_reg(insn.r1, v);
+      break;
+    }
+    case Opcode::Store:
+      mem_write(reg(insn.r1) + static_cast<Word>(insn.imm), reg(insn.r2));
+      break;
+    case Opcode::Push: {
+      const Word sp = reg(Reg::rsp) - 1;
+      mem_write(sp, reg(insn.r1));
+      if (!trap) {
+        set_reg(Reg::rsp, sp);
+        if (shadow_enabled_) {
+          // The mirror stores the complement so a stale/never-pushed slot
+          // pair (0, 0) cannot masquerade as consistent.
+          trap = mem_->write(sp + static_cast<Word>(shadow_offset_),
+                             ~reg(insn.r1));
+        }
+      } else {
+        trap.kind = TrapKind::StackFault;
+      }
+      break;
+    }
+    case Opcode::Pop: {
+      Word v = 0;
+      mem_read(reg(Reg::rsp), v);
+      if (!trap && shadow_enabled_) {
+        Word mirror = 0;
+        trap = mem_->read(reg(Reg::rsp) + static_cast<Word>(shadow_offset_),
+                          mirror);
+        if (!trap && mirror != ~v) {
+          trap = Trap{TrapKind::StackCheck, reg(Reg::rsp), 0};
+        }
+      }
+      if (!trap) {
+        set_reg(Reg::rsp, reg(Reg::rsp) + 1);
+        set_reg(insn.r1, v);
+      } else if (trap.kind != TrapKind::StackCheck) {
+        trap.kind = TrapKind::StackFault;
+      }
+      break;
+    }
+    case Opcode::AddRR: {
+      const Word res = reg(insn.r1) + reg(insn.r2);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::AddRI: {
+      const Word res = reg(insn.r1) + static_cast<Word>(insn.imm);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::SubRR: {
+      const Word a = reg(insn.r1), b = reg(insn.r2);
+      set_flags_cmp(a, b);
+      set_reg(insn.r1, a - b);
+      break;
+    }
+    case Opcode::SubRI: {
+      const Word a = reg(insn.r1), b = static_cast<Word>(insn.imm);
+      set_flags_cmp(a, b);
+      set_reg(insn.r1, a - b);
+      break;
+    }
+    case Opcode::MulRR: {
+      const Word res = reg(insn.r1) * reg(insn.r2);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::DivR: {
+      const Word d = reg(insn.r1);
+      if (d == 0) {
+        trap = Trap{TrapKind::DivideError, rip, 0};
+      } else {
+        const Word a = reg(Reg::rax);
+        set_reg(Reg::rax, a / d);
+        set_reg(Reg::rdx, a % d);
+        set_flags_result(a / d);
+      }
+      break;
+    }
+    case Opcode::AndRR: {
+      const Word res = reg(insn.r1) & reg(insn.r2);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::AndRI: {
+      const Word res = reg(insn.r1) & static_cast<Word>(insn.imm);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::OrRR: {
+      const Word res = reg(insn.r1) | reg(insn.r2);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::OrRI: {
+      const Word res = reg(insn.r1) | static_cast<Word>(insn.imm);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::XorRR: {
+      const Word res = reg(insn.r1) ^ reg(insn.r2);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::XorRI: {
+      const Word res = reg(insn.r1) ^ static_cast<Word>(insn.imm);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::ShlRI: {
+      const Word res = reg(insn.r1) << (insn.imm & 63);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::ShrRI: {
+      const Word res = reg(insn.r1) >> (insn.imm & 63);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::ShlRR: {
+      const Word res = reg(insn.r1) << (reg(insn.r2) & 63);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::ShrRR: {
+      const Word res = reg(insn.r1) >> (reg(insn.r2) & 63);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::Neg: {
+      const Word res = 0 - reg(insn.r1);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::Not: {
+      const Word res = ~reg(insn.r1);
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::Inc: {
+      const Word res = reg(insn.r1) + 1;
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::Dec: {
+      const Word res = reg(insn.r1) - 1;
+      set_flags_result(res);
+      set_reg(insn.r1, res);
+      break;
+    }
+    case Opcode::CmpRR:
+      set_flags_cmp(reg(insn.r1), reg(insn.r2));
+      break;
+    case Opcode::CmpRI:
+      set_flags_cmp(reg(insn.r1), static_cast<Word>(insn.imm));
+      break;
+    case Opcode::TestRR:
+      set_flags_result(reg(insn.r1) & reg(insn.r2));
+      break;
+    case Opcode::TestRI:
+      set_flags_result(reg(insn.r1) & static_cast<Word>(insn.imm));
+      break;
+    case Opcode::Jmp:
+      next_rip = static_cast<Addr>(insn.imm);
+      break;
+    case Opcode::JmpR:
+      next_rip = reg(insn.r1);
+      break;
+    case Opcode::Je:
+      if (flag(kFlagZero)) next_rip = static_cast<Addr>(insn.imm);
+      break;
+    case Opcode::Jne:
+      if (!flag(kFlagZero)) next_rip = static_cast<Addr>(insn.imm);
+      break;
+    case Opcode::Jl:
+      if (flag(kFlagSign)) next_rip = static_cast<Addr>(insn.imm);
+      break;
+    case Opcode::Jle:
+      if (flag(kFlagSign) || flag(kFlagZero)) {
+        next_rip = static_cast<Addr>(insn.imm);
+      }
+      break;
+    case Opcode::Jg:
+      if (!flag(kFlagSign) && !flag(kFlagZero)) {
+        next_rip = static_cast<Addr>(insn.imm);
+      }
+      break;
+    case Opcode::Jge:
+      if (!flag(kFlagSign)) next_rip = static_cast<Addr>(insn.imm);
+      break;
+    case Opcode::Jb:
+      if (flag(kFlagCarry)) next_rip = static_cast<Addr>(insn.imm);
+      break;
+    case Opcode::Jae:
+      if (!flag(kFlagCarry)) next_rip = static_cast<Addr>(insn.imm);
+      break;
+    case Opcode::Call: {
+      const Word sp = reg(Reg::rsp) - 1;
+      mem_write(sp, rip + 1);
+      if (!trap) {
+        set_reg(Reg::rsp, sp);
+        next_rip = static_cast<Addr>(insn.imm);
+        if (shadow_enabled_) {
+          trap = mem_->write(sp + static_cast<Word>(shadow_offset_),
+                             ~(rip + 1));
+        }
+      } else {
+        trap.kind = TrapKind::StackFault;
+      }
+      break;
+    }
+    case Opcode::Ret: {
+      Word ra = 0;
+      mem_read(reg(Reg::rsp), ra);
+      if (!trap && shadow_enabled_) {
+        Word mirror = 0;
+        trap = mem_->read(reg(Reg::rsp) + static_cast<Word>(shadow_offset_),
+                          mirror);
+        if (!trap && mirror != ~ra) {
+          trap = Trap{TrapKind::StackCheck, reg(Reg::rsp), 0};
+        }
+      }
+      if (!trap) {
+        set_reg(Reg::rsp, reg(Reg::rsp) + 1);
+        next_rip = ra;
+      } else if (trap.kind != TrapKind::StackCheck) {
+        trap.kind = TrapKind::StackFault;
+      }
+      break;
+    }
+    case Opcode::Rdtsc:
+      set_reg(insn.r1, tsc_);
+      break;
+    case Opcode::Hlt:
+      info.status = StepInfo::Status::Halted;
+      break;
+    case Opcode::AssertLeRI:
+      if (static_cast<std::int64_t>(reg(insn.r1)) > insn.imm) {
+        trap = Trap{TrapKind::AssertFailed, rip, insn.aux};
+      }
+      break;
+    case Opcode::AssertGeRI:
+      if (static_cast<std::int64_t>(reg(insn.r1)) < insn.imm) {
+        trap = Trap{TrapKind::AssertFailed, rip, insn.aux};
+      }
+      break;
+    case Opcode::AssertEqRI:
+      if (reg(insn.r1) != static_cast<Word>(insn.imm)) {
+        trap = Trap{TrapKind::AssertFailed, rip, insn.aux};
+      }
+      break;
+    case Opcode::AssertNeRI:
+      if (reg(insn.r1) == static_cast<Word>(insn.imm)) {
+        trap = Trap{TrapKind::AssertFailed, rip, insn.aux};
+      }
+      break;
+    case Opcode::AssertEqRR:
+      if (reg(insn.r1) != reg(insn.r2)) {
+        trap = Trap{TrapKind::AssertFailed, rip, insn.aux};
+      }
+      break;
+    case Opcode::AssertLtRR:
+      if (reg(insn.r1) >= reg(insn.r2)) {
+        trap = Trap{TrapKind::AssertFailed, rip, insn.aux};
+      }
+      break;
+    case Opcode::Ud:
+      // handled at fetch
+      break;
+  }
+
+  if (trap) {
+    info.status = StepInfo::Status::Trapped;
+    info.trap = trap;
+    return info;
+  }
+  if (info.status == StepInfo::Status::Halted) {
+    // hlt is the VM-entry gate; it does not retire as hypervisor work.
+    return info;
+  }
+
+  // The instruction retired: advance rip, counters, TSC, trace.
+  set_reg(Reg::rip, next_rip);
+  counters_.on_retire(is_branch(insn.op), is_mem_load(insn.op),
+                      is_mem_store(insn.op));
+  tsc_ += kTscPerStep;
+  ++steps_;
+  if (trace_ != nullptr) trace_->push_back(rip);
+  return info;
+}
+
+StepInfo Cpu::run(std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    StepInfo info = step();
+    if (info.status != StepInfo::Status::Ok) return info;
+  }
+  StepInfo info;
+  info.status = StepInfo::Status::Trapped;
+  info.trap = Trap{TrapKind::Watchdog, reg(Reg::rip), 0};
+  info.rip_before = reg(Reg::rip);
+  return info;
+}
+
+}  // namespace xentry::sim

@@ -1,0 +1,116 @@
+// Execution engine for one logical core.
+//
+// The CPU interprets a pre-decoded Program against a Memory, maintaining
+// the 18 architectural registers that form the paper's fault-injection
+// surface.  Hardware faults are reported as values (Trap), never as C++
+// exceptions: step() is the simulator's hot path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/isa.hpp"
+#include "sim/memory.hpp"
+#include "sim/perf_counters.hpp"
+#include "sim/program.hpp"
+#include "sim/types.hpp"
+
+namespace xentry::sim {
+
+/// Timestamp-counter advance per retired instruction.  Two back-to-back
+/// rdtsc reads therefore differ by a small constant — the property the
+/// paper's discussion of time-value checking relies on (Section VI).
+inline constexpr Word kTscPerStep = 3;
+
+/// Result of one step.
+struct StepInfo {
+  enum class Status : std::uint8_t { Ok, Halted, Trapped };
+  Status status = Status::Ok;
+  Trap trap;
+  Addr rip_before = 0;
+  std::uint32_t read_mask = 0;     ///< architectural registers read
+  std::uint32_t written_mask = 0;  ///< architectural registers written
+};
+
+class Cpu {
+ public:
+  Cpu(const Program* program, Memory* memory)
+      : prog_(program), mem_(memory) {
+    regs_.fill(0);
+  }
+
+  // -- architectural state ---------------------------------------------------
+
+  Word reg(Reg r) const { return regs_[static_cast<std::size_t>(r)]; }
+  void set_reg(Reg r, Word v) { regs_[static_cast<std::size_t>(r)] = v; }
+
+  /// Flips one bit of one architectural register: the paper's fault model.
+  void flip_bit(Reg r, int bit) {
+    regs_[static_cast<std::size_t>(r)] ^= Word{1} << bit;
+  }
+
+  const std::array<Word, kNumArchRegs>& regs() const { return regs_; }
+
+  /// Resets registers to a clean state with the given entry point and
+  /// stack pointer.  Flags and GPRs are zeroed; the TSC is preserved
+  /// (monotonic across activations).
+  void reset(Addr rip, Addr rsp);
+
+  // -- execution ---------------------------------------------------------------
+
+  /// Executes one instruction.  On a trap, the architectural state is left
+  /// as of the faulting instruction (rip points at it).
+  StepInfo step();
+
+  /// Runs until Hlt, a trap, or `max_steps` instructions (which raises the
+  /// Watchdog trap, modelling Xen's NMI watchdog catching a hung
+  /// hypervisor).  Returns the last StepInfo.
+  StepInfo run(std::uint64_t max_steps);
+
+  std::uint64_t steps_executed() const { return steps_; }
+
+  // -- attachments ------------------------------------------------------------
+
+  PerfCounters& counters() { return counters_; }
+  const PerfCounters& counters() const { return counters_; }
+
+  /// When non-null, every executed rip is appended: the control-flow trace
+  /// used for golden-run comparison and ML labelling.
+  void set_trace(std::vector<Addr>* trace) { trace_ = trace; }
+
+  Word tsc() const { return tsc_; }
+  void set_tsc(Word v) { tsc_ = v; }
+
+  /// Enables shadow-stack redundancy (the paper's Section VI "selective
+  /// redundancy" countermeasure for stack-value corruption): every pushed
+  /// word is mirrored at `addr + offset`, and every pop verifies the
+  /// mirror, raising TrapKind::StackCheck on mismatch.  The mirror range
+  /// must be mapped by the caller.
+  void enable_shadow_stack(std::int64_t offset) {
+    shadow_offset_ = offset;
+    shadow_enabled_ = true;
+  }
+  void disable_shadow_stack() { shadow_enabled_ = false; }
+  bool shadow_stack_enabled() const { return shadow_enabled_; }
+
+  Memory& memory() { return *mem_; }
+  const Program& program() const { return *prog_; }
+
+ private:
+  void set_flags_cmp(Word a, Word b);
+  void set_flags_result(Word res);
+  bool flag(Word bit) const { return (reg(Reg::rflags) & bit) != 0; }
+
+  const Program* prog_;
+  Memory* mem_;
+  std::array<Word, kNumArchRegs> regs_{};
+  PerfCounters counters_;
+  std::vector<Addr>* trace_ = nullptr;
+  Word tsc_ = 0;
+  std::uint64_t steps_ = 0;
+  std::int64_t shadow_offset_ = 0;
+  bool shadow_enabled_ = false;
+};
+
+}  // namespace xentry::sim

@@ -1,0 +1,136 @@
+// Instruction set of the simulated machine.
+//
+// The ISA is deliberately small but covers everything the microvisor needs:
+// register moves, ALU ops, loads/stores with base+displacement addressing,
+// compare/test, conditional branches, call/ret with a real stack, and a few
+// system instructions (rdtsc, hlt).  Software assertions are first-class
+// opcodes so the runtime-detection technique of the paper (Section III-A,
+// Listings 1 and 2) has a direct machine-level encoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace xentry::sim {
+
+enum class Opcode : std::uint8_t {
+  Nop = 0,
+
+  // Data movement.
+  MovRR,   ///< r1 = r2
+  MovRI,   ///< r1 = imm
+  Load,    ///< r1 = mem[r2 + imm]
+  Store,   ///< mem[r1 + imm] = r2
+  Push,    ///< mem[--rsp] = r1
+  Pop,     ///< r1 = mem[rsp++]
+
+  // ALU, register-register and register-immediate forms.  All update flags.
+  AddRR, AddRI,
+  SubRR, SubRI,
+  MulRR,
+  DivR,    ///< rax = rax / r1, rdx = rax % r1; #DE when r1 == 0
+  AndRR, AndRI,
+  OrRR,  OrRI,
+  XorRR, XorRI,
+  ShlRI, ShrRI,
+  ShlRR, ShrRR,  ///< shift r1 by (r2 & 63)
+  Neg,   Not,
+  Inc,   Dec,
+
+  // Flag-setting comparisons (do not write a destination).
+  CmpRR, CmpRI,
+  TestRR, TestRI,
+
+  // Control flow.  Branch targets are absolute instruction addresses.
+  Jmp,
+  JmpR,    ///< indirect jump through r1
+  Je, Jne, Jl, Jle, Jg, Jge, Jb, Jae,
+  Call,    ///< push return address, jump to imm
+  Ret,     ///< pop return address
+
+  // System.
+  Rdtsc,   ///< r1 = current timestamp counter (monotonic, advances per step)
+  Hlt,     ///< end of hypervisor execution: the VM-entry gate
+
+  // Software assertions (paper Section III-A).  On violation they raise
+  // TrapKind::AssertFailed carrying the assertion id in Instruction::aux.
+  AssertLeRI,  ///< assert r1 <= imm   (signed)
+  AssertGeRI,  ///< assert r1 >= imm   (signed)
+  AssertEqRI,  ///< assert r1 == imm
+  AssertNeRI,  ///< assert r1 != imm
+  AssertEqRR,  ///< assert r1 == r2
+  AssertLtRR,  ///< assert r1 <  r2   (unsigned)
+
+  // Explicitly invalid instruction; fetching one raises #UD.  Used to pad
+  // gaps between handler bodies so a corrupted rip that lands inside the
+  // code region but between functions faults realistically.
+  Ud,
+};
+
+/// One decoded instruction.  Programs are stored pre-decoded; rip indexes
+/// instruction slots directly (one slot per address unit).
+struct Instruction {
+  Opcode op = Opcode::Nop;
+  Reg r1 = Reg::rax;
+  Reg r2 = Reg::rax;
+  std::int64_t imm = 0;
+  std::uint32_t aux = 0;  ///< assertion id for Assert* opcodes
+};
+
+/// Static classification used by the performance counters.
+constexpr bool is_branch(Opcode op) {
+  switch (op) {
+    case Opcode::Jmp: case Opcode::JmpR:
+    case Opcode::Je: case Opcode::Jne:
+    case Opcode::Jl: case Opcode::Jle:
+    case Opcode::Jg: case Opcode::Jge:
+    case Opcode::Jb: case Opcode::Jae:
+    case Opcode::Call: case Opcode::Ret:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Instructions whose execution performs a memory read.
+constexpr bool is_mem_load(Opcode op) {
+  return op == Opcode::Load || op == Opcode::Pop || op == Opcode::Ret;
+}
+
+/// Instructions whose execution performs a memory write.
+constexpr bool is_mem_store(Opcode op) {
+  return op == Opcode::Store || op == Opcode::Push || op == Opcode::Call;
+}
+
+constexpr bool is_assertion(Opcode op) {
+  switch (op) {
+    case Opcode::AssertLeRI: case Opcode::AssertGeRI:
+    case Opcode::AssertEqRI: case Opcode::AssertNeRI:
+    case Opcode::AssertEqRR: case Opcode::AssertLtRR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view opcode_name(Opcode op);
+
+/// Human-readable rendering for traces and debugging.
+std::string disassemble(const Instruction& insn);
+
+/// Which architectural registers an instruction reads, as a bitmask indexed
+/// by Reg.  Used by the fault injector to decide whether an injected flip
+/// was *activated* (register read before being overwritten).
+std::uint32_t regs_read(const Instruction& insn);
+
+/// Which architectural registers an instruction writes, as a bitmask.
+std::uint32_t regs_written(const Instruction& insn);
+
+constexpr std::uint32_t reg_bit(Reg r) {
+  return 1u << static_cast<unsigned>(r);
+}
+
+}  // namespace xentry::sim

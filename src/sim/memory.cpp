@@ -1,0 +1,96 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace xentry::sim {
+
+std::size_t Memory::map(Addr base, Addr size, Perm perm, std::string name) {
+  if (size == 0) throw std::invalid_argument("Memory::map: empty region");
+  for (const Region& r : regions_) {
+    const bool disjoint = base + size <= r.base || r.base + r.size <= base;
+    if (!disjoint) {
+      throw std::invalid_argument("Memory::map: region '" + name +
+                                  "' overlaps '" + r.name + "'");
+    }
+  }
+  Region region;
+  region.base = base;
+  region.size = size;
+  region.perm = perm;
+  region.name = std::move(name);
+  region.data.assign(size, 0);
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), base,
+      [](Addr b, const Region& r) { return b < r.base; });
+  it = regions_.insert(it, std::move(region));
+  return static_cast<std::size_t>(it - regions_.begin());
+}
+
+const Memory::Region* Memory::find(Addr a) const {
+  // Regions are sorted by base; find the last region with base <= a.
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), a,
+      [](Addr x, const Region& r) { return x < r.base; });
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  return it->contains(a) ? &*it : nullptr;
+}
+
+Memory::Region* Memory::find(Addr a) {
+  return const_cast<Region*>(static_cast<const Memory*>(this)->find(a));
+}
+
+Trap Memory::read(Addr a, Word& out) const {
+  const Region* r = find(a);
+  if (r == nullptr) return Trap{TrapKind::PageFault, a, 0};
+  out = r->data[a - r->base];
+  return {};
+}
+
+Trap Memory::write(Addr a, Word v) {
+  Region* r = find(a);
+  if (r == nullptr) return Trap{TrapKind::PageFault, a, 0};
+  if (r->perm != Perm::ReadWrite) {
+    return Trap{TrapKind::GeneralProtection, a, 0};
+  }
+  r->data[a - r->base] = v;
+  return {};
+}
+
+Word Memory::peek(Addr a) const {
+  const Region* r = find(a);
+  assert(r != nullptr && "peek of unmapped address");
+  if (r == nullptr) std::abort();
+  return r->data[a - r->base];
+}
+
+void Memory::poke(Addr a, Word v) {
+  Region* r = find(a);
+  assert(r != nullptr && "poke of unmapped address");
+  if (r == nullptr) std::abort();
+  r->data[a - r->base] = v;
+}
+
+std::vector<std::vector<Word>> Memory::snapshot() const {
+  std::vector<std::vector<Word>> snap;
+  snap.reserve(regions_.size());
+  for (const Region& r : regions_) snap.push_back(r.data);
+  return snap;
+}
+
+void Memory::restore(const std::vector<std::vector<Word>>& snap) {
+  assert(snap.size() == regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    assert(snap[i].size() == regions_[i].data.size());
+    regions_[i].data = snap[i];
+  }
+}
+
+void Memory::clear() {
+  for (Region& r : regions_) std::fill(r.data.begin(), r.data.end(), 0);
+}
+
+}  // namespace xentry::sim

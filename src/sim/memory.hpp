@@ -1,0 +1,73 @@
+// Physical memory of the simulated machine.
+//
+// Memory is a set of mapped regions over a 64-bit word-address space.  Any
+// access outside a mapped region raises #PF; a write to a read-only region
+// raises #GP.  The sparseness is deliberate: a single bit flip in a pointer
+// register usually lands far outside every region, which is exactly how
+// soft errors manifest as "fatal system corruptions" the paper's runtime
+// detection catches via hardware exceptions (Section III-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace xentry::sim {
+
+enum class Perm : std::uint8_t {
+  Read = 1,
+  ReadWrite = 3,
+};
+
+class Memory {
+ public:
+  struct Region {
+    Addr base = 0;
+    Addr size = 0;  ///< in words
+    Perm perm = Perm::ReadWrite;
+    std::string name;
+    std::vector<Word> data;
+
+    bool contains(Addr a) const { return a >= base && a - base < size; }
+  };
+
+  /// Maps a region.  Regions must not overlap; they are kept sorted by base.
+  /// Returns the region index, which stays stable for the Memory lifetime.
+  std::size_t map(Addr base, Addr size, Perm perm, std::string name);
+
+  /// Reads the word at `a` into `out`.  Returns a Trap (kind None on
+  /// success).  No C++ exceptions: this is the simulator hot path.
+  Trap read(Addr a, Word& out) const;
+
+  /// Writes `v` at `a`.  Returns a Trap (kind None on success).
+  Trap write(Addr a, Word v);
+
+  /// Unchecked accessors for host-side (non-simulated) setup and
+  /// inspection.  Aborts if `a` is unmapped — programming error, not a
+  /// simulated fault.
+  Word peek(Addr a) const;
+  void poke(Addr a, Word v);
+
+  bool is_mapped(Addr a) const { return find(a) != nullptr; }
+  const Region* region_at(Addr a) const { return find(a); }
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Snapshot/restore of all region contents, for golden-run comparison
+  /// and for re-running a faulted activation from a clean state.
+  std::vector<std::vector<Word>> snapshot() const;
+  void restore(const std::vector<std::vector<Word>>& snap);
+
+  /// Zero-fills every mapped region.
+  void clear();
+
+ private:
+  const Region* find(Addr a) const;
+  Region* find(Addr a);
+
+  std::vector<Region> regions_;  // sorted by base
+};
+
+}  // namespace xentry::sim

@@ -1,0 +1,57 @@
+// Hardware performance counters of one logical core.
+//
+// Models the four programmable events Xentry uses (paper Table I):
+//   INST_RETIRED            -> inst_retired
+//   BR_INST_RETIRED         -> branches
+//   MEM_INST_RETIRED.LOADS  -> loads
+//   MEM_INST_RETIRED.STORES -> stores
+// Counters are armed at VM exit (right before the handler entry function is
+// called) and disabled+read at VM entry, exactly as Section IV describes.
+// Logical cores do not share counters.
+#pragma once
+
+#include <cstdint>
+
+namespace xentry::sim {
+
+struct PerfSnapshot {
+  std::uint64_t inst_retired = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+
+  friend bool operator==(const PerfSnapshot&, const PerfSnapshot&) = default;
+};
+
+class PerfCounters {
+ public:
+  /// Clears and starts counting (the "VM exit" side).
+  void arm() {
+    counts_ = {};
+    enabled_ = true;
+  }
+
+  /// Stops counting and returns the counts (the "VM entry" side).
+  PerfSnapshot disarm() {
+    enabled_ = false;
+    return counts_;
+  }
+
+  bool enabled() const { return enabled_; }
+  const PerfSnapshot& raw() const { return counts_; }
+
+  /// Called by the CPU once per retired instruction.
+  void on_retire(bool branch, bool load, bool store) {
+    if (!enabled_) return;
+    ++counts_.inst_retired;
+    counts_.branches += branch ? 1 : 0;
+    counts_.loads += load ? 1 : 0;
+    counts_.stores += store ? 1 : 0;
+  }
+
+ private:
+  PerfSnapshot counts_;
+  bool enabled_ = false;
+};
+
+}  // namespace xentry::sim

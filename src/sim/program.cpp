@@ -1,0 +1,27 @@
+#include "sim/program.hpp"
+
+#include <stdexcept>
+
+namespace xentry::sim {
+
+Addr Program::symbol(const std::string& name) const {
+  auto it = symbols_.find(name);
+  if (it == symbols_.end()) {
+    throw std::out_of_range("Program: unknown symbol '" + name + "'");
+  }
+  return it->second;
+}
+
+std::string Program::symbol_at(Addr rip) const {
+  std::string best;
+  Addr best_addr = 0;
+  for (const auto& [name, addr] : symbols_) {
+    if (addr <= rip && (best.empty() || addr >= best_addr)) {
+      best = name;
+      best_addr = addr;
+    }
+  }
+  return best;
+}
+
+}  // namespace xentry::sim

@@ -1,0 +1,52 @@
+// A fully assembled code image.
+//
+// Instructions are pre-decoded and live in a dedicated code address range
+// [base, base + code.size()); rip values index instruction slots directly.
+// A rip outside the range faults with #PF (instruction fetch from unmapped
+// memory); a rip landing on a Ud padding slot faults with #UD.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/isa.hpp"
+#include "sim/types.hpp"
+
+namespace xentry::sim {
+
+class Program {
+ public:
+  Program() = default;
+  Program(Addr base, std::vector<Instruction> code,
+          std::map<std::string, Addr> symbols)
+      : base_(base), code_(std::move(code)), symbols_(std::move(symbols)) {}
+
+  Addr base() const { return base_; }
+  Addr end() const { return base_ + code_.size(); }
+  std::size_t size() const { return code_.size(); }
+  bool empty() const { return code_.empty(); }
+
+  bool contains(Addr rip) const { return rip >= base_ && rip < end(); }
+
+  const Instruction& at(Addr rip) const { return code_[rip - base_]; }
+
+  /// Address of a named symbol (function entry).  Throws if unknown.
+  Addr symbol(const std::string& name) const;
+  bool has_symbol(const std::string& name) const {
+    return symbols_.count(name) != 0;
+  }
+  const std::map<std::string, Addr>& symbols() const { return symbols_; }
+
+  /// Name of the function containing `rip` (last symbol at or before it),
+  /// or empty if none.  For diagnostics.
+  std::string symbol_at(Addr rip) const;
+
+ private:
+  Addr base_ = 0;
+  std::vector<Instruction> code_;
+  std::map<std::string, Addr> symbols_;
+};
+
+}  // namespace xentry::sim

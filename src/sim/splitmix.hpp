@@ -1,0 +1,33 @@
+// SplitMix64: a tiny, high-quality mixing function used wherever the
+// simulator needs cheap deterministic pseudo-random values derived from a
+// seed (activation arguments, request-buffer contents, stale register
+// values).  Determinism is load-bearing: a golden run and a faulted run of
+// the same activation must see byte-identical inputs.
+#pragma once
+
+#include <cstdint>
+
+namespace xentry::sim {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound).  `bound` must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    return next() % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace xentry::sim

@@ -1,0 +1,106 @@
+// Basic machine types shared by the whole simulator substrate.
+//
+// The simulated machine is a 64-bit, word-addressable architecture with an
+// x86-flavoured architectural register file: 16 general-purpose registers
+// (including the stack pointer), an instruction pointer, and a flags
+// register.  These 18 registers are exactly the fault-injection surface of
+// the paper's fault model (single bit flip in the architectural register
+// state, Section V-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace xentry::sim {
+
+/// Machine word.  All registers and memory cells hold one of these.
+using Word = std::uint64_t;
+
+/// Word address.  The machine is word-addressable; one address unit is one
+/// 64-bit cell (for data) or one instruction slot (for code).
+using Addr = std::uint64_t;
+
+/// Architectural registers.  Order matters: it is the bit-flip target index
+/// space used by the fault injector.
+enum class Reg : std::uint8_t {
+  rax = 0,
+  rbx,
+  rcx,
+  rdx,
+  rsi,
+  rdi,
+  rbp,
+  rsp,
+  r8,
+  r9,
+  r10,
+  r11,
+  r12,
+  r13,
+  r14,
+  r15,
+  rip,     ///< instruction pointer (absolute instruction address)
+  rflags,  ///< condition flags, see FlagBit
+};
+
+inline constexpr int kNumGprs = 16;              ///< rax..r15
+inline constexpr int kNumArchRegs = 18;          ///< GPRs + rip + rflags
+inline constexpr int kBitsPerReg = 64;
+
+/// Condition flag bit positions within rflags.
+enum FlagBit : Word {
+  kFlagZero = 1u << 0,   ///< ZF: result was zero
+  kFlagSign = 1u << 1,   ///< SF: result was negative (bit 63 set)
+  kFlagCarry = 1u << 2,  ///< CF: unsigned borrow/carry
+  kFlagOverflow = 1u << 3,
+};
+
+constexpr std::string_view reg_name(Reg r) {
+  constexpr std::array<std::string_view, kNumArchRegs> names = {
+      "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp", "r8",
+      "r9",  "r10", "r11", "r12", "r13", "r14", "r15", "rip", "rflags"};
+  return names[static_cast<std::size_t>(r)];
+}
+
+/// Hardware traps the CPU can raise.  These mirror the x86 exceptions the
+/// paper's runtime detection parses ("fatal page fault and invalid opcode",
+/// Section III-A); AssertFailed models the software-assertion trap and
+/// Watchdog models Xen's NMI watchdog catching a hung hypervisor.
+enum class TrapKind : std::uint8_t {
+  None = 0,
+  InvalidOpcode,     ///< #UD: fetched a non-instruction
+  PageFault,         ///< #PF: access to unmapped memory
+  GeneralProtection, ///< #GP: access violating region permissions
+  DivideError,       ///< #DE: division by zero
+  StackFault,        ///< #SS: push/pop outside the stack region
+  AssertFailed,      ///< software assertion fired (not a hardware trap)
+  Watchdog,          ///< NMI watchdog: execution budget exhausted
+  StackCheck,        ///< shadow-stack redundancy mismatch (extension)
+};
+
+constexpr std::string_view trap_name(TrapKind t) {
+  switch (t) {
+    case TrapKind::None: return "none";
+    case TrapKind::InvalidOpcode: return "#UD";
+    case TrapKind::PageFault: return "#PF";
+    case TrapKind::GeneralProtection: return "#GP";
+    case TrapKind::DivideError: return "#DE";
+    case TrapKind::StackFault: return "#SS";
+    case TrapKind::AssertFailed: return "ASSERT";
+    case TrapKind::Watchdog: return "WATCHDOG";
+    case TrapKind::StackCheck: return "STACKCHK";
+  }
+  return "?";
+}
+
+/// A raised trap plus diagnostic detail.
+struct Trap {
+  TrapKind kind = TrapKind::None;
+  Addr fault_addr = 0;   ///< faulting memory address or rip
+  std::uint32_t aux = 0; ///< assertion id for AssertFailed
+
+  constexpr explicit operator bool() const { return kind != TrapKind::None; }
+};
+
+}  // namespace xentry::sim

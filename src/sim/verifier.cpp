@@ -1,0 +1,112 @@
+#include "sim/verifier.hpp"
+
+#include <sstream>
+
+namespace xentry::sim {
+
+std::string_view issue_kind_name(VerifierIssue::Kind k) {
+  switch (k) {
+    case VerifierIssue::Kind::BranchOutOfRange: return "branch_out_of_range";
+    case VerifierIssue::Kind::BranchIntoPadding: return "branch_into_padding";
+    case VerifierIssue::Kind::FallthroughIntoPadding:
+      return "fallthrough_into_padding";
+    case VerifierIssue::Kind::UnknownAssertId: return "unknown_assert_id";
+    case VerifierIssue::Kind::CallTargetNotSymbol:
+      return "call_target_not_symbol";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_direct_branch(Opcode op) {
+  switch (op) {
+    case Opcode::Jmp: case Opcode::Je: case Opcode::Jne: case Opcode::Jl:
+    case Opcode::Jle: case Opcode::Jg: case Opcode::Jge: case Opcode::Jb:
+    case Opcode::Jae: case Opcode::Call:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True when control never falls through to the next slot.
+bool is_terminal(Opcode op) {
+  return op == Opcode::Jmp || op == Opcode::Ret || op == Opcode::Hlt ||
+         op == Opcode::JmpR || op == Opcode::Ud;
+}
+
+}  // namespace
+
+VerifierReport verify_program(const Program& program,
+                              const VerifierOptions& options) {
+  VerifierReport report;
+  std::vector<bool> is_symbol_entry(program.size(), false);
+  for (const auto& [name, addr] : program.symbols()) {
+    if (program.contains(addr)) {
+      is_symbol_entry[addr - program.base()] = true;
+    }
+  }
+
+  for (Addr a = program.base(); a < program.end(); ++a) {
+    const Instruction& insn = program.at(a);
+    if (insn.op == Opcode::Ud) {
+      ++report.padding;
+      continue;
+    }
+    ++report.instructions;
+    report.branches += is_branch(insn.op) ? 1 : 0;
+    report.loads += is_mem_load(insn.op) ? 1 : 0;
+    report.stores += is_mem_store(insn.op) ? 1 : 0;
+    report.assertions += is_assertion(insn.op) ? 1 : 0;
+    report.indirect_jumps += insn.op == Opcode::JmpR ? 1 : 0;
+
+    if (is_direct_branch(insn.op)) {
+      const auto target = static_cast<Addr>(insn.imm);
+      if (!program.contains(target)) {
+        report.issues.push_back({VerifierIssue::Kind::BranchOutOfRange, a,
+                                 target, disassemble(insn)});
+      } else if (program.at(target).op == Opcode::Ud) {
+        report.issues.push_back({VerifierIssue::Kind::BranchIntoPadding, a,
+                                 target, disassemble(insn)});
+      } else if (insn.op == Opcode::Call &&
+                 options.calls_must_hit_symbols &&
+                 !is_symbol_entry[target - program.base()]) {
+        report.issues.push_back({VerifierIssue::Kind::CallTargetNotSymbol, a,
+                                 target, disassemble(insn)});
+      }
+    }
+
+    if (is_assertion(insn.op) && options.max_assert_id != 0) {
+      if (insn.aux == 0 || insn.aux >= options.max_assert_id) {
+        report.issues.push_back({VerifierIssue::Kind::UnknownAssertId, a, 0,
+                                 disassemble(insn)});
+      }
+    }
+
+    // Falling through into padding means a function body forgot its
+    // ret/jmp/hlt tail.
+    const Addr next = a + 1;
+    if (!is_terminal(insn.op) && program.contains(next) &&
+        program.at(next).op == Opcode::Ud) {
+      report.issues.push_back({VerifierIssue::Kind::FallthroughIntoPadding,
+                               a, next, disassemble(insn)});
+    }
+  }
+  return report;
+}
+
+std::string VerifierReport::to_string() const {
+  std::ostringstream os;
+  os << instructions << " instructions (" << padding << " padding), "
+     << branches << " branches, " << loads << " loads, " << stores
+     << " stores, " << assertions << " assertions, " << indirect_jumps
+     << " indirect jumps; " << issues.size() << " issue(s)";
+  for (const VerifierIssue& i : issues) {
+    os << "\n  [" << issue_kind_name(i.kind) << "] at " << i.addr
+       << " target " << i.target << ": " << i.detail;
+  }
+  return os.str();
+}
+
+}  // namespace xentry::sim

@@ -1,0 +1,87 @@
+// Statistical guest-workload models.
+//
+// The paper exercises the hypervisor with SPEC2006 (mcf, bzip2), PARSEC
+// (freqmine, canneal, x264) and Postmark guests, in para-virtualized and
+// hardware-assisted modes, because "the hypervisor is the software under
+// test rather than the benchmarks" (Section V-A).  Each model here is the
+// benchmark's hypervisor-facing fingerprint: the mixture of VM exit
+// reasons it provokes and its activation-rate distribution, calibrated to
+// the ranges of Fig. 3 (PV roughly 5K-100K/s with freqmine peaking near
+// 650K/s; HVM mostly 2K-10K/s).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hv/machine.hpp"
+
+namespace xentry::wl {
+
+enum class Benchmark : std::uint8_t {
+  mcf = 0,      ///< SPEC2006, memory-bound
+  bzip2,        ///< SPEC2006, CPU-bound
+  freqmine,     ///< PARSEC, hypercall-intensive under PV
+  canneal,      ///< PARSEC, memory/CPU mix
+  x264,         ///< PARSEC, I/O + CPU mix
+  postmark,     ///< filesystem benchmark, I/O-dominated
+};
+inline constexpr int kNumBenchmarks = 6;
+
+enum class VirtMode : std::uint8_t {
+  Para = 0,  ///< Xen PV: hypercall-rich interface
+  Hvm,       ///< hardware-assisted: exits dominated by traps/interrupts
+};
+
+std::string_view benchmark_name(Benchmark b);
+std::string_view virt_mode_name(VirtMode m);
+const std::vector<Benchmark>& all_benchmarks();
+
+/// The hypervisor-facing fingerprint of one benchmark in one mode.
+struct WorkloadProfile {
+  Benchmark benchmark = Benchmark::mcf;
+  VirtMode mode = VirtMode::Para;
+  /// Exit-reason mixture (reason, weight); weights need not sum to 1.
+  std::vector<std::pair<hv::ExitReason, double>> mix;
+  /// Lognormal activation-rate distribution (activations/second).
+  double rate_median = 10000.0;
+  double rate_sigma = 0.35;
+  double rate_cap = 1e9;  ///< physical ceiling (freqmine's PV burst limit)
+  /// Cache/TLB disturbance factor: how much each intercepted activation
+  /// perturbs the application beyond Xentry's own instructions.  A model
+  /// calibration constant (see DESIGN.md / EXPERIMENTS.md).
+  double disturbance = 1.0;
+};
+
+/// The calibrated profile for a benchmark/mode pair.
+WorkloadProfile profile(Benchmark benchmark, VirtMode mode);
+
+/// Draws activations according to a profile's exit-reason mixture.
+/// Deterministic per seed.  One generator per thread (not thread-safe).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const hv::Machine& machine, WorkloadProfile profile,
+                    std::uint64_t seed);
+
+  const WorkloadProfile& profile() const { return profile_; }
+
+  /// Next activation in the stream (legal inputs, random vcpu).
+  hv::Activation next();
+
+  /// Samples an activation rate (activations/second) for one observation
+  /// window, from the profile's lognormal.
+  double sample_rate();
+
+  std::uint64_t activations_generated() const { return count_; }
+
+ private:
+  const hv::Machine& machine_;
+  WorkloadProfile profile_;
+  std::mt19937_64 rng_;
+  std::discrete_distribution<std::size_t> pick_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace xentry::wl

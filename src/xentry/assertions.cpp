@@ -1,0 +1,48 @@
+#include "xentry/assertions.hpp"
+
+#include <stdexcept>
+
+namespace xentry {
+
+AssertionRegistry::AssertionRegistry() {
+  for (std::uint32_t id = hv::kAssertTrapVector; id < hv::kAssertMaxId;
+       ++id) {
+    entries_.emplace(id, hv::assert_name(id));
+  }
+}
+
+void AssertionRegistry::register_assertion(std::uint32_t id,
+                                           std::string description) {
+  if (!entries_.emplace(id, std::move(description)).second) {
+    throw std::invalid_argument("AssertionRegistry: duplicate id " +
+                                std::to_string(id));
+  }
+}
+
+const std::string& AssertionRegistry::description(std::uint32_t id) const {
+  static const std::string unknown = "(unregistered assertion)";
+  auto it = entries_.find(id);
+  return it == entries_.end() ? unknown : it->second;
+}
+
+std::uint64_t AssertionRegistry::fires(std::uint32_t id) const {
+  auto it = fires_.find(id);
+  return it == fires_.end() ? 0 : it->second;
+}
+
+std::uint64_t AssertionRegistry::total_fires() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, n] : fires_) total += n;
+  return total;
+}
+
+std::vector<AssertionRegistry::Row> AssertionRegistry::rows() const {
+  std::vector<Row> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, desc] : entries_) {
+    out.push_back({id, desc, fires(id)});
+  }
+  return out;
+}
+
+}  // namespace xentry

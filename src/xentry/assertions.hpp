@@ -1,0 +1,51 @@
+// Software-assertion registry (paper Section III-A).
+//
+// Xentry leverages assertions compiled into the hypervisor — boundary
+// checks on values with clearly defined limits (Listing 1) and condition
+// checks critical to correct execution (Listing 2).  The registry gives
+// each assertion id a description and keeps firing statistics so reports
+// can say *which* invariant a soft error violated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hv/microvisor.hpp"
+
+namespace xentry {
+
+class AssertionRegistry {
+ public:
+  /// Builds the registry for the microvisor's built-in assertion set.
+  AssertionRegistry();
+
+  /// Registers a custom assertion id (for extensions).  Throws on
+  /// duplicates.
+  void register_assertion(std::uint32_t id, std::string description);
+
+  bool known(std::uint32_t id) const { return entries_.count(id) != 0; }
+  const std::string& description(std::uint32_t id) const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Records that assertion `id` fired; unknown ids are tracked too (a
+  /// corrupted aux field is itself evidence of a fault).
+  void record_fire(std::uint32_t id) { ++fires_[id]; }
+  std::uint64_t fires(std::uint32_t id) const;
+  std::uint64_t total_fires() const;
+
+  /// (id, description, fires) rows sorted by id, for reports.
+  struct Row {
+    std::uint32_t id;
+    std::string description;
+    std::uint64_t fires;
+  };
+  std::vector<Row> rows() const;
+
+ private:
+  std::map<std::uint32_t, std::string> entries_;
+  std::map<std::uint32_t, std::uint64_t> fires_;
+};
+
+}  // namespace xentry

@@ -1,0 +1,40 @@
+#include "xentry/exception_parser.hpp"
+
+#include <sstream>
+
+namespace xentry {
+
+ExceptionVerdict ExceptionParser::parse(const sim::Trap& trap) const {
+  switch (trap.kind) {
+    case sim::TrapKind::None:
+    case sim::TrapKind::AssertFailed:
+    case sim::TrapKind::StackCheck:
+      return ExceptionVerdict::NotHardware;
+    case sim::TrapKind::InvalidOpcode:
+    case sim::TrapKind::PageFault:
+    case sim::TrapKind::GeneralProtection:
+    case sim::TrapKind::StackFault:
+      // In hypervisor context these are always fatal: the microvisor's own
+      // code never legally faults (guest page faults arrive as VM exits,
+      // not as host-mode traps).
+      return ExceptionVerdict::Fatal;
+    case sim::TrapKind::DivideError:
+      return policy_.divide_error_is_fatal ? ExceptionVerdict::Fatal
+                                           : ExceptionVerdict::Benign;
+    case sim::TrapKind::Watchdog:
+      return policy_.watchdog_is_fatal ? ExceptionVerdict::Fatal
+                                       : ExceptionVerdict::Benign;
+  }
+  return ExceptionVerdict::NotHardware;
+}
+
+std::string ExceptionParser::describe(const sim::Trap& trap) {
+  std::ostringstream os;
+  os << sim::trap_name(trap.kind) << " at 0x" << std::hex << trap.fault_addr;
+  if (trap.kind == sim::TrapKind::AssertFailed) {
+    os << " (assert id " << std::dec << trap.aux << ")";
+  }
+  return os.str();
+}
+
+}  // namespace xentry

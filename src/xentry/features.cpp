@@ -1,0 +1,11 @@
+#include "xentry/features.hpp"
+
+namespace xentry {
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {"VMER", "RT", "BR", "RM",
+                                                 "WM"};
+  return names;
+}
+
+}  // namespace xentry

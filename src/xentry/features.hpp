@@ -1,0 +1,53 @@
+// The five-feature execution signature of Table I.
+//
+//   VMER  VM exit reason                  (Xentry software)
+//   RT    # committed instructions        (INST_RETIRED)
+//   BR    # branch instructions           (BR_INST_RETIRED)
+//   RM    # read memory accesses          (MEM_INST_RETIRED.LOADS)
+//   WM    # write memory accesses         (MEM_INST_RETIRED.STORES)
+//
+// These do not explicitly represent control flow, but implicitly capture
+// its dynamic patterns — which is what lets the transition detector flag
+// valid-but-incorrect flows that pure control-flow-validity checkers miss.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hv/exit_reason.hpp"
+#include "sim/perf_counters.hpp"
+
+namespace xentry {
+
+inline constexpr int kNumFeatures = 5;
+
+struct FeatureVector {
+  std::int64_t vmer = 0;
+  std::int64_t rt = 0;
+  std::int64_t br = 0;
+  std::int64_t rm = 0;
+  std::int64_t wm = 0;
+
+  std::array<std::int64_t, kNumFeatures> as_array() const {
+    return {vmer, rt, br, rm, wm};
+  }
+
+  static FeatureVector from(const hv::ExitReason& reason,
+                            const sim::PerfSnapshot& counters) {
+    return {reason.code(),
+            static_cast<std::int64_t>(counters.inst_retired),
+            static_cast<std::int64_t>(counters.branches),
+            static_cast<std::int64_t>(counters.loads),
+            static_cast<std::int64_t>(counters.stores)};
+  }
+
+  friend bool operator==(const FeatureVector&, const FeatureVector&) = default;
+};
+
+/// Canonical feature names, matching Table I's synonyms column and the
+/// order of as_array().
+const std::vector<std::string>& feature_names();
+
+}  // namespace xentry

@@ -1,0 +1,56 @@
+#include "xentry/framework.hpp"
+
+namespace xentry {
+
+std::string_view technique_name(Technique t) {
+  switch (t) {
+    case Technique::None: return "undetected";
+    case Technique::HardwareException: return "hw_exception";
+    case Technique::SoftwareAssertion: return "sw_assertion";
+    case Technique::VmTransition: return "vm_transition";
+    case Technique::StackRedundancy: return "stack_redundancy";
+  }
+  return "?";
+}
+
+Observation Xentry::observe(hv::Machine& machine,
+                            const hv::Activation& activation,
+                            hv::RunOptions opts) {
+  opts.arm_counters = cfg_.transition_detection;
+  Observation obs;
+  obs.run = machine.run(activation, opts);
+  obs.features = FeatureVector::from(activation.reason, obs.run.counters);
+
+  if (!obs.run.reached_vm_entry) {
+    // Host-mode trap: runtime detection territory.
+    const sim::Trap& trap = obs.run.trap;
+    if (cfg_.runtime_detection) {
+      if (trap.kind == sim::TrapKind::StackCheck) {
+        obs.detected = true;
+        obs.technique = Technique::StackRedundancy;
+        obs.detection_step = obs.run.trap_step;
+      } else if (trap.kind == sim::TrapKind::AssertFailed) {
+        registry_.record_fire(trap.aux);
+        obs.detected = true;
+        obs.technique = Technique::SoftwareAssertion;
+        obs.detection_step = obs.run.trap_step;
+      } else if (parser_.parse(trap) == ExceptionVerdict::Fatal) {
+        obs.detected = true;
+        obs.technique = Technique::HardwareException;
+        obs.detection_step = obs.run.trap_step;
+      }
+    }
+    return obs;
+  }
+
+  // VM entry: transition detection before the guest resumes.
+  if (cfg_.transition_detection && detector_.has_model() &&
+      detector_.flag(obs.features)) {
+    obs.detected = true;
+    obs.technique = Technique::VmTransition;
+    obs.detection_step = obs.run.steps;
+  }
+  return obs;
+}
+
+}  // namespace xentry

@@ -1,0 +1,83 @@
+// The Xentry framework facade: "a light-weight software layer between the
+// hypervisor and VMs" (paper Section III).
+//
+// One Xentry instance owns the two detection techniques and drives a
+// Machine through the full interception protocol:
+//   VM exit  -> intercept, arm performance counters, run the handler
+//   (during) -> runtime detection: fatal hardware exceptions + assertions
+//   VM entry -> disarm counters, VM transition detection on the features
+// The result is an Observation that says whether a soft error was
+// detected, by which technique, and at which dynamic instruction.
+#pragma once
+
+#include <cstdint>
+
+#include "hv/machine.hpp"
+#include "xentry/assertions.hpp"
+#include "xentry/exception_parser.hpp"
+#include "xentry/features.hpp"
+#include "xentry/transition_detector.hpp"
+
+namespace xentry {
+
+/// Which technique produced a detection (paper Fig. 8's legend).
+enum class Technique : std::uint8_t {
+  None = 0,
+  HardwareException,
+  SoftwareAssertion,
+  VmTransition,
+  /// Extension: Section VI's selective stack-value redundancy.
+  StackRedundancy,
+};
+
+std::string_view technique_name(Technique t);
+
+struct XentryConfig {
+  /// Hardware-exception parsing + software assertions.  The Machine must
+  /// be built with MicrovisorOptions::assertions matching this flag (the
+  /// assertions live in hypervisor code).
+  bool runtime_detection = true;
+  /// VM transition detection at every VM entry (needs a trained model).
+  bool transition_detection = true;
+  ExceptionParser::Policy exception_policy{};
+};
+
+struct Observation {
+  hv::RunResult run;
+  FeatureVector features;
+  bool detected = false;
+  Technique technique = Technique::None;
+  /// Dynamic instruction index at which detection fired (trap step for
+  /// runtime detection, VM entry for transition detection).
+  std::uint64_t detection_step = 0;
+};
+
+class Xentry {
+ public:
+  explicit Xentry(const XentryConfig& config = {})
+      : cfg_(config), parser_(config.exception_policy) {}
+
+  XentryConfig& config() { return cfg_; }
+  const XentryConfig& config() const { return cfg_; }
+  TransitionDetector& detector() { return detector_; }
+  const TransitionDetector& detector() const { return detector_; }
+  AssertionRegistry& assertions() { return registry_; }
+  const ExceptionParser& parser() const { return parser_; }
+
+  /// Installs the trained classification model (flattened rules).
+  void set_model(ml::RuleSet rules) { detector_.set_model(std::move(rules)); }
+
+  /// Runs one activation under full Xentry interception and classifies
+  /// the outcome.  Counter arming follows the config: transition
+  /// detection needs the counters; runtime detection alone does not.
+  Observation observe(hv::Machine& machine, const hv::Activation& activation,
+                      hv::RunOptions opts = {});
+
+ private:
+  XentryConfig cfg_;
+  ExceptionParser parser_;
+  AssertionRegistry registry_;
+  TransitionDetector detector_;
+};
+
+}  // namespace xentry

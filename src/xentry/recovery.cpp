@@ -1,0 +1,52 @@
+#include "xentry/recovery.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace xentry {
+
+RecoveryOverhead estimate_recovery_overhead(
+    const RecoveryParams& params, const std::vector<double>& activation_ns,
+    double window_ns, int trials, std::uint64_t seed) {
+  if (trials <= 0) {
+    throw std::invalid_argument("estimate_recovery_overhead: trials <= 0");
+  }
+  if (window_ns <= 0) {
+    throw std::invalid_argument("estimate_recovery_overhead: bad window");
+  }
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution is_fp(params.false_positive_rate);
+
+  const double copy_total =
+      params.copy_ns * static_cast<double>(activation_ns.size());
+
+  RecoveryOverhead out;
+  out.min = 1e300;
+  out.max = -1e300;
+  double sum = 0;
+  for (int t = 0; t < trials; ++t) {
+    double reexec = 0;
+    for (double ns : activation_ns) {
+      if (is_fp(rng)) reexec += ns;  // restore + re-execute the activation
+    }
+    const double overhead = (copy_total + reexec) / window_ns;
+    sum += overhead;
+    out.min = std::min(out.min, overhead);
+    out.max = std::max(out.max, overhead);
+  }
+  out.mean = sum / trials;
+  return out;
+}
+
+double expected_recovery_overhead(const RecoveryParams& params,
+                                  const std::vector<double>& activation_ns,
+                                  double window_ns) {
+  double exec_total = 0;
+  for (double ns : activation_ns) exec_total += ns;
+  const double copy_total =
+      params.copy_ns * static_cast<double>(activation_ns.size());
+  return (copy_total + params.false_positive_rate * exec_total) / window_ns;
+}
+
+}  // namespace xentry

@@ -1,0 +1,61 @@
+#include "xentry/recovery_engine.hpp"
+
+#include <stdexcept>
+
+namespace xentry {
+
+namespace L = hv::layout;
+
+std::vector<sim::Word> RecoveryEngine::copy_region(sim::Addr base,
+                                                   sim::Addr size) const {
+  std::vector<sim::Word> out;
+  out.reserve(size);
+  for (sim::Addr a = base; a < base + size; ++a) {
+    out.push_back(machine_->memory().peek(a));
+  }
+  return out;
+}
+
+void RecoveryEngine::restore_region(sim::Addr base,
+                                    const std::vector<sim::Word>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    machine_->memory().poke(base + i, words[i]);
+  }
+}
+
+void RecoveryEngine::checkpoint(const hv::Activation& activation) {
+  Checkpoint cp;
+  cp.activation = activation;
+  cp.hv_data = copy_region(L::kHvDataBase, L::kHvDataSize);
+  cp.domains = copy_region(
+      L::kDomainBase,
+      static_cast<sim::Addr>(machine_->num_domains()) * L::kDomainStride);
+  cp.vcpus = copy_region(
+      L::kVcpuBase,
+      static_cast<sim::Addr>(machine_->num_vcpus() + 1) * L::kVcpuStride);
+  cp.tsc = machine_->cpu().tsc();
+  checkpoint_ = std::move(cp);
+  ++stats_.checkpoints;
+}
+
+std::size_t RecoveryEngine::checkpoint_words() const {
+  if (!checkpoint_) return 0;
+  return checkpoint_->hv_data.size() + checkpoint_->domains.size() +
+         checkpoint_->vcpus.size();
+}
+
+hv::RunResult RecoveryEngine::recover() {
+  if (!checkpoint_) {
+    throw std::logic_error("RecoveryEngine::recover: no checkpoint");
+  }
+  restore_region(L::kHvDataBase, checkpoint_->hv_data);
+  restore_region(L::kDomainBase, checkpoint_->domains);
+  restore_region(L::kVcpuBase, checkpoint_->vcpus);
+  machine_->cpu().set_tsc(checkpoint_->tsc);
+  ++stats_.recoveries;
+  hv::RunResult res = machine_->run(checkpoint_->activation);
+  stats_.clean_reruns += res.reached_vm_entry ? 1 : 0;
+  return res;
+}
+
+}  // namespace xentry

@@ -1,0 +1,159 @@
+#include "fault/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/stats.hpp"
+#include "fault/training.hpp"
+
+namespace xentry::fault {
+namespace {
+
+TEST(CampaignTest, RunsRequestedInjectionsAcrossShards) {
+  CampaignConfig cfg;
+  cfg.injections = 200;
+  cfg.seed = 7;
+  cfg.shards = 4;
+  auto res = run_campaign(cfg);
+  EXPECT_EQ(res.records.size(), 200u);
+}
+
+TEST(CampaignTest, DeterministicForFixedSeedAndShards) {
+  CampaignConfig cfg;
+  cfg.injections = 120;
+  cfg.seed = 11;
+  cfg.shards = 3;
+  auto a = run_campaign(cfg);
+  auto b = run_campaign(cfg);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  std::size_t manifested_a = 0, manifested_b = 0, detected_a = 0,
+              detected_b = 0;
+  for (const auto& r : a.records) {
+    manifested_a += is_manifested(r.consequence);
+    detected_a += r.detected;
+  }
+  for (const auto& r : b.records) {
+    manifested_b += is_manifested(r.consequence);
+    detected_b += r.detected;
+  }
+  EXPECT_EQ(manifested_a, manifested_b);
+  EXPECT_EQ(detected_a, detected_b);
+}
+
+TEST(CampaignTest, DatasetCollectedWhenRequested) {
+  CampaignConfig cfg;
+  cfg.injections = 150;
+  cfg.seed = 3;
+  cfg.shards = 2;
+  cfg.collect_dataset = true;
+  auto res = run_campaign(cfg);
+  // Every injection contributes at least the golden sample.
+  EXPECT_GE(res.dataset.size(), 150u);
+  EXPECT_GT(res.dataset.count(ml::Label::Correct), 0u);
+}
+
+TEST(CampaignTest, ManifestationRateMatchesPaperBand) {
+  // Paper Section V-D: ~17,700 of 30,000 injections manifested (59%).
+  CampaignConfig cfg;
+  cfg.injections = 4000;
+  cfg.seed = 42;
+  auto res = run_campaign(cfg);
+  std::size_t manifested = 0;
+  for (const auto& r : res.records) {
+    manifested += is_manifested(r.consequence);
+  }
+  const double rate =
+      static_cast<double>(manifested) / static_cast<double>(res.records.size());
+  EXPECT_GT(rate, 0.40);
+  EXPECT_LT(rate, 0.70);
+}
+
+TEST(CampaignTest, UniformSweepCoversAllReasons) {
+  auto profile = uniform_sweep_profile();
+  EXPECT_EQ(profile.mix.size(), hv::all_exit_reasons().size());
+}
+
+TEST(StatsTest, CoverageBreakdownAccounting) {
+  std::vector<InjectionRecord> recs(4);
+  recs[0].consequence = Consequence::HypervisorCrash;
+  recs[0].detected = true;
+  recs[0].technique = Technique::HardwareException;
+  recs[1].consequence = Consequence::AppSdc;
+  recs[1].detected = true;
+  recs[1].technique = Technique::VmTransition;
+  recs[2].consequence = Consequence::Masked;  // not manifested
+  recs[3].consequence = Consequence::AllVmFailure;  // undetected
+  auto cov = coverage_breakdown(recs);
+  EXPECT_EQ(cov.manifested, 3u);
+  EXPECT_EQ(cov.hw_exception, 1u);
+  EXPECT_EQ(cov.vm_transition, 1u);
+  EXPECT_EQ(cov.undetected, 1u);
+  EXPECT_NEAR(cov.coverage(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, LatencyCdfAndPercentile) {
+  std::vector<std::uint64_t> lat = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  auto cdf = latency_cdf(lat, {0, 50, 100, 200});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+  EXPECT_EQ(latency_percentile(lat, 95), 100u);
+  EXPECT_EQ(latency_percentile(lat, 0), 10u);
+  EXPECT_EQ(latency_percentile({}, 95), 0u);
+}
+
+TEST(StatsTest, UndetectedBreakdownSkipsDetectedAndMasked) {
+  std::vector<InjectionRecord> recs(3);
+  recs[0].consequence = Consequence::AppSdc;
+  recs[0].undetected = UndetectedClass::TimeValues;
+  recs[1].consequence = Consequence::AppSdc;
+  recs[1].detected = true;
+  recs[2].consequence = Consequence::Masked;
+  auto u = undetected_breakdown(recs);
+  EXPECT_EQ(u.total, 1u);
+  EXPECT_EQ(u.time_values, 1u);
+  EXPECT_DOUBLE_EQ(u.share(u.time_values), 1.0);
+}
+
+TEST(TrainingTest, OversampleReachesTargetFraction) {
+  ml::Dataset ds({"x"});
+  std::array<std::int64_t, 1> v{1};
+  for (int i = 0; i < 95; ++i) ds.add(v, ml::Label::Correct);
+  for (int i = 0; i < 5; ++i) ds.add(v, ml::Label::Incorrect);
+  ml::Dataset bal = oversample_incorrect(ds, 0.2);
+  const double frac = static_cast<double>(bal.count(ml::Label::Incorrect)) /
+                      static_cast<double>(bal.size());
+  EXPECT_GT(frac, 0.12);  // integer-copy granularity keeps it near target
+  EXPECT_LE(frac, 0.25);
+}
+
+TEST(TrainingTest, OversampleNoOpCases) {
+  ml::Dataset ds({"x"});
+  std::array<std::int64_t, 1> v{1};
+  ds.add(v, ml::Label::Incorrect);
+  ds.add(v, ml::Label::Incorrect);
+  EXPECT_EQ(oversample_incorrect(ds, 0.5).size(), 2u);  // all incorrect
+  EXPECT_EQ(oversample_incorrect(ds, 0.0).size(), 2u);  // disabled
+}
+
+TEST(TrainingTest, EndToEndTrainingProducesUsableModel) {
+  CampaignConfig cfg;
+  cfg.injections = 2500;
+  cfg.seed = 5;
+  cfg.collect_dataset = true;
+  auto res = run_campaign(cfg);
+  auto det = train_detector(res.dataset);
+  EXPECT_TRUE(det.tree.trained());
+  EXPECT_FALSE(det.rules.empty());
+  EXPECT_GT(det.test_eval.accuracy(), 0.90);
+  EXPECT_LT(det.test_eval.false_positive_rate(), 0.05);
+}
+
+TEST(TrainingTest, EmptyDatasetThrows) {
+  ml::Dataset empty({"a"});
+  EXPECT_THROW(train_detector(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xentry::fault

@@ -1,0 +1,126 @@
+#include "fault/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xentry::fault {
+namespace {
+
+struct Rig {
+  hv::Machine golden;
+  hv::Machine faulty;
+  Xentry xentry;
+  InjectionExperiment exp{golden, faulty, xentry};
+};
+
+TEST(ExperimentTest, GoldenProbeRestoresState) {
+  Rig rig;
+  const auto act = rig.golden.make_activation(
+      hv::ExitReason::hypercall(hv::Hypercall::mmu_update), 5);
+  const auto before = rig.golden.memory().snapshot();
+  auto probe = rig.exp.probe_golden(act);
+  EXPECT_GT(probe.steps, 0u);
+  EXPECT_EQ(probe.trace.size(), probe.steps);
+  EXPECT_EQ(rig.golden.memory().snapshot(), before);
+}
+
+TEST(ExperimentTest, AdvanceKeepsMachinesInLockstep) {
+  Rig rig;
+  for (int i = 0; i < 5; ++i) {
+    rig.exp.advance(rig.golden.make_activation(
+        hv::ExitReason::apic(hv::ApicInterrupt::timer), 100 + i));
+  }
+  EXPECT_TRUE(hv::Machine::diff_persistent_state(rig.golden, rig.faulty)
+                  .empty());
+}
+
+TEST(ExperimentTest, NonActivatedFaultIsMasked) {
+  Rig rig;
+  const auto act = rig.golden.make_activation(
+      hv::ExitReason::apic(hv::ApicInterrupt::spurious), 9, 0);
+  // The spurious handler never touches rdx.
+  hv::Injection inj{1, sim::Reg::rdx, 30};
+  auto r = rig.exp.run_one(act, inj);
+  EXPECT_TRUE(r.golden_ok);
+  EXPECT_TRUE(r.record.injected);
+  EXPECT_FALSE(r.record.activated);
+  EXPECT_EQ(r.record.consequence, Consequence::Masked);
+  EXPECT_FALSE(r.record.detected);
+}
+
+TEST(ExperimentTest, RipFlipIsHypervisorCrashDetectedByHardware) {
+  Rig rig;
+  const auto act = rig.golden.make_activation(
+      hv::ExitReason::hypercall(hv::Hypercall::console_io), 8, 2);
+  hv::Injection inj{3, sim::Reg::rip, 45};
+  auto r = rig.exp.run_one(act, inj);
+  EXPECT_EQ(r.record.consequence, Consequence::HypervisorCrash);
+  EXPECT_TRUE(r.record.detected);
+  EXPECT_EQ(r.record.technique, Technique::HardwareException);
+  EXPECT_EQ(r.record.trap, sim::TrapKind::PageFault);
+  EXPECT_EQ(r.record.latency, 0u);  // activated at the fetch that faulted
+}
+
+TEST(ExperimentTest, GoldenFeaturesAreCorrectSample) {
+  Rig rig;
+  const auto act = rig.golden.make_activation(
+      hv::ExitReason::hypercall(hv::Hypercall::xen_version), 4);
+  hv::Injection inj{0, sim::Reg::rip, 50};
+  auto r = rig.exp.run_one(act, inj);
+  EXPECT_TRUE(r.golden_ok);
+  EXPECT_GT(r.golden_features.rt, 0);
+  EXPECT_EQ(r.golden_features.vmer, act.reason.code());
+}
+
+TEST(ExperimentTest, DrawInjectionWithinBounds) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    hv::Injection inj = InjectionExperiment::draw_injection(rng, 50);
+    EXPECT_LT(inj.at_step, 50u);
+    EXPECT_GE(inj.bit, 0);
+    EXPECT_LT(inj.bit, 64);
+    EXPECT_LT(static_cast<int>(inj.reg), sim::kNumArchRegs);
+  }
+}
+
+TEST(ExperimentTest, ActivatedDrawPicksReadRegisters) {
+  Rig rig;
+  const auto act = rig.golden.make_activation(
+      hv::ExitReason::hypercall(hv::Hypercall::grant_table_op), 6);
+  auto probe = rig.exp.probe_golden(act);
+  std::mt19937_64 rng(5);
+  int activated = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    hv::Injection inj = InjectionExperiment::draw_activated_injection(
+        rng, probe.trace, rig.golden.microvisor().program);
+    auto r = rig.exp.run_one(act, inj);
+    activated += r.record.activated ? 1 : 0;
+  }
+  // Activation is near-certain by construction (the register is read by
+  // the very next instruction unless a trap preempts it).
+  EXPECT_GT(activated, trials * 8 / 10);
+}
+
+TEST(ExperimentTest, MismatchedMachinesThrow) {
+  hv::Machine a;
+  hv::MicrovisorOptions opt;
+  opt.num_domains = 2;
+  hv::Machine b(opt);
+  Xentry x;
+  EXPECT_THROW(InjectionExperiment(a, b, x), std::invalid_argument);
+}
+
+TEST(OutcomeTest, TaxonomyPredicates) {
+  EXPECT_TRUE(is_long_latency(Consequence::AppSdc));
+  EXPECT_TRUE(is_long_latency(Consequence::AllVmFailure));
+  EXPECT_FALSE(is_long_latency(Consequence::HypervisorCrash));
+  EXPECT_FALSE(is_long_latency(Consequence::Masked));
+  EXPECT_TRUE(is_manifested(Consequence::HypervisorCrash));
+  EXPECT_FALSE(is_manifested(Consequence::Masked));
+  EXPECT_EQ(consequence_name(Consequence::AppSdc), "app_sdc");
+  EXPECT_EQ(undetected_class_name(UndetectedClass::TimeValues),
+            "time_values");
+}
+
+}  // namespace
+}  // namespace xentry::fault

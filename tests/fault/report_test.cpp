@@ -1,0 +1,69 @@
+#include "fault/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fault/campaign.hpp"
+
+namespace xentry::fault {
+namespace {
+
+std::vector<InjectionRecord> sample_records() {
+  CampaignConfig cfg;
+  cfg.injections = 300;
+  cfg.seed = 9;
+  cfg.shards = 2;
+  return run_campaign(cfg).records;
+}
+
+TEST(ReportTest, CsvHasHeaderAndOneRowPerRecord) {
+  const auto records = sample_records();
+  std::ostringstream os;
+  write_records_csv(os, records);
+  const std::string csv = os.str();
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, records.size() + 1);
+  EXPECT_EQ(csv.substr(0, 7), "reason,");
+  // Every row has the full column count.
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);
+  const auto commas = [](const std::string& l) {
+    return std::count(l.begin(), l.end(), ',');
+  };
+  const auto header_commas = commas(line);
+  EXPECT_EQ(header_commas, 21);
+  while (std::getline(is, line)) {
+    EXPECT_EQ(commas(line), header_commas);
+  }
+}
+
+TEST(ReportTest, CsvIsDeterministic) {
+  const auto a = sample_records();
+  const auto b = sample_records();
+  std::ostringstream oa, ob;
+  write_records_csv(oa, a);
+  write_records_csv(ob, b);
+  EXPECT_EQ(oa.str(), ob.str());
+}
+
+TEST(ReportTest, SummaryMentionsAllSections) {
+  const auto records = sample_records();
+  const std::string s = summarize(records);
+  EXPECT_NE(s.find("manifested"), std::string::npos);
+  EXPECT_NE(s.find("coverage"), std::string::npos);
+  EXPECT_NE(s.find("consequences"), std::string::npos);
+  EXPECT_NE(s.find("latency p50/p95"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyRecordsSafe) {
+  std::ostringstream os;
+  write_records_csv(os, {});
+  EXPECT_NE(os.str().find("reason,"), std::string::npos);
+  EXPECT_NE(summarize({}).find("injections: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xentry::fault

@@ -1,0 +1,192 @@
+// Behavioural tests for the exception, APIC, IRQ, softirq and tasklet
+// handlers: event injection into guests, emulation paths, scheduling and
+// time side effects.
+#include <gtest/gtest.h>
+
+#include "hv/machine.hpp"
+
+namespace xentry::hv {
+namespace {
+
+namespace L = layout;
+using sim::Word;
+
+class ExceptionTest : public ::testing::Test {
+ protected:
+  Activation exc(GuestException e, Word a1 = 0, Word a2 = 0, int vcpu = 1,
+                 std::uint64_t seed = 7) {
+    Activation act;
+    act.reason = ExitReason::exception(e);
+    act.arg1 = a1;
+    act.arg2 = a2;
+    act.vcpu = vcpu;
+    act.seed = seed;
+    return act;
+  }
+
+  void run_ok(const Activation& act) {
+    const RunResult res = m.run(act);
+    ASSERT_TRUE(res.reached_vm_entry)
+        << handler_symbol(act.reason) << ": "
+        << sim::trap_name(res.trap.kind) << " assert=" << res.trap.aux;
+  }
+
+  Word vcpu_field(int v, std::int64_t off) {
+    return m.memory().peek(L::vcpu_addr(v) + off);
+  }
+  Word ram(int dom, std::int64_t off) {
+    return m.memory().peek(L::guest_ram_addr(dom) + off);
+  }
+  Word hv(std::int64_t off) {
+    return m.memory().peek(L::kHvDataBase + off);
+  }
+
+  Machine m;
+};
+
+TEST_F(ExceptionTest, SimpleInjectVectorsThroughTrapTable) {
+  // divide_error -> vector 0: frame pushed, rip redirected to the guest's
+  // registered handler.
+  const Word old_rip_handler = vcpu_field(1, L::kVcpuTrapTable + 0);
+  run_ok(exc(GuestException::divide_error, 0x1234));
+  EXPECT_EQ(vcpu_field(1, L::kVcpuSaveRip), old_rip_handler);
+  EXPECT_EQ(ram(1, L::kGuestExcFrame + 3), 0u);  // vector number
+}
+
+TEST_F(ExceptionTest, ErrorCodeVariantsRecordVector) {
+  for (auto [e, vec] : {std::pair{GuestException::invalid_tss, 10},
+                        {GuestException::segment_not_present, 11},
+                        {GuestException::stack_segment, 12}}) {
+    run_ok(exc(e, 0x42));
+    EXPECT_EQ(ram(1, L::kGuestExcFrame + 3), static_cast<Word>(vec))
+        << exception_name(e);
+    EXPECT_EQ(vcpu_field(1, L::kVcpuSaveRip),
+              vcpu_field(1, L::kVcpuTrapTable + vec));
+  }
+}
+
+TEST_F(ExceptionTest, GpEmulatesCpuidLeafZero) {
+  run_ok(exc(GuestException::general_protection, 0x0f, 0));
+  EXPECT_EQ(vcpu_field(1, L::kVcpuSaveGprs + 0), 0x0du);       // max leaf
+  EXPECT_EQ(vcpu_field(1, L::kVcpuSaveGprs + 1), 0x756e6547u); // "Genu"
+}
+
+TEST_F(ExceptionTest, GpEmulatesCpuidLeafOneWithDomainStamp) {
+  run_ok(exc(GuestException::general_protection, 0x0f, 1, 2));
+  const Word eax = vcpu_field(2, L::kVcpuSaveGprs + 0);
+  EXPECT_EQ(eax & 0xff, 0xa5u);          // stepping field
+  EXPECT_EQ((eax >> 8) & 0xff, 2u + 6u); // domain id folded in (2<<8 + 0x06..)
+}
+
+TEST_F(ExceptionTest, GpEmulatesRdtscSplitLowHigh) {
+  run_ok(exc(GuestException::general_protection, 0x31, 0));
+  // Low half in guest rax, high half in guest rdx; scaled TSC is small
+  // early in a machine's life so the high half is zero but the low half
+  // must be populated.
+  EXPECT_NE(vcpu_field(1, L::kVcpuSaveGprs + 0), 0u);
+  EXPECT_EQ(vcpu_field(1, L::kVcpuSaveGprs + 3),
+            0u);
+}
+
+TEST_F(ExceptionTest, GpReflectsUnknownOpcodes) {
+  run_ok(exc(GuestException::general_protection, 0x6c, 0));
+  EXPECT_EQ(ram(1, L::kGuestExcFrame + 3), 13u);
+}
+
+TEST_F(ExceptionTest, PageFaultFixupCountsMinorFaults) {
+  const Word before = hv(L::kHvPerfcCounters + 5);
+  run_ok(exc(GuestException::page_fault, 0x23));  // mapped l1 slot
+  EXPECT_EQ(hv(L::kHvPerfcCounters + 5), before + 1);
+  EXPECT_NE(ram(1, L::kGuestAppPtrs + 0x23), 0u);
+}
+
+TEST_F(ExceptionTest, DoubleFaultCrashesAndDeschedulesDomain) {
+  run_ok(exc(GuestException::double_fault, 0, 0, 2));
+  EXPECT_EQ(m.memory().peek(L::domain_addr(2) + L::kDomState), 1u);
+  EXPECT_EQ(vcpu_field(2, L::kVcpuState),
+            static_cast<Word>(L::kVcpuStateBlocked));
+}
+
+TEST_F(ExceptionTest, MachineCheckFatalBitCrashesDomain) {
+  // Odd bank values carry the fatal bit; prepare_inputs only writes even
+  // ones, so poke a fatal record first.
+  Activation act = exc(GuestException::machine_check, 0, 0, 1, 7);
+  m.run(act);  // benign pass first (prepared banks are even)
+  EXPECT_EQ(m.memory().peek(L::domain_addr(1) + L::kDomState), 0u);
+  // Run again, then force fatal by prepared state: poke after prepare is
+  // impossible from outside, so drive the CPU manually.
+  m.memory().poke(L::kHvDataBase + L::kHvMcBanks + 1, 3);  // fatal
+  sim::Cpu& cpu = m.cpu();
+  cpu.reset(m.microvisor().entry(act.reason), L::kStackTop);
+  cpu.set_reg(sim::Reg::rbp, L::kHvDataBase);
+  cpu.set_reg(sim::Reg::r8, L::vcpu_addr(1));
+  cpu.set_reg(sim::Reg::r9, L::domain_addr(1));
+  ASSERT_EQ(cpu.run(100000).status, sim::StepInfo::Status::Halted);
+  EXPECT_EQ(m.memory().peek(L::domain_addr(1) + L::kDomState), 1u);
+}
+
+TEST_F(ExceptionTest, ApicTimerAdvancesTimeAndFiresDeadline) {
+  // Arm a deadline that the first tick will have passed.
+  m.memory().poke(L::vcpu_addr(1) + L::kVcpuTimerDeadline, 1);
+  Activation tick;
+  tick.reason = ExitReason::apic(ApicInterrupt::timer);
+  tick.vcpu = 1;
+  tick.seed = 5;
+  run_ok(tick);
+  EXPECT_GT(hv(L::kHvSystemTime), 0u);
+  EXPECT_EQ(vcpu_field(1, L::kVcpuTimerDeadline), 0u);  // fired
+  EXPECT_EQ(vcpu_field(1, L::kVcpuPendingEvents), 1u);
+  // Shared info time published for the current domain.
+  EXPECT_GT(m.memory().peek(L::shared_info_addr(1) + L::kShVersion), 0u);
+  // Softirqs fully drained before VM entry.
+  EXPECT_EQ(hv(L::kHvSoftirqPending), 0u);
+}
+
+TEST_F(ExceptionTest, IpiEventCheckRaisesCallbackFlag) {
+  m.memory().poke(L::vcpu_addr(1) + L::kVcpuPendingEvents, 1);
+  Activation act;
+  act.reason = ExitReason::apic(ApicInterrupt::ipi_event_check);
+  act.vcpu = 1;
+  run_ok(act);
+  EXPECT_TRUE(m.memory().peek(L::shared_info_addr(1) + L::kShArchFlags) & 1);
+}
+
+TEST_F(ExceptionTest, SoftirqDrainsAllPendingBits) {
+  Activation act;
+  act.reason = ExitReason::softirq();
+  act.vcpu = 0;
+  act.seed = 11;  // prepare_inputs raises a nonzero pending mask
+  run_ok(act);
+  EXPECT_EQ(hv(L::kHvSoftirqPending), 0u);
+}
+
+TEST_F(ExceptionTest, TaskletDrainsQueueAndAccumulatesWork) {
+  Activation act;
+  act.reason = ExitReason::tasklet();
+  act.vcpu = 0;
+  act.seed = 13;
+  run_ok(act);
+  EXPECT_EQ(hv(L::kHvTaskletCount), 0u);
+}
+
+TEST_F(ExceptionTest, IrqCountsAndRoutes) {
+  const Word before = hv(L::kHvPerfcCounters + 0);
+  run_ok(m.make_activation(ExitReason::irq(7), 3, 0));
+  EXPECT_EQ(hv(L::kHvPerfcCounters + 0), before + 1);
+  // Boot routing: irq 7 -> dom 1 (7 % 3), port 7.
+  EXPECT_TRUE(m.memory().peek(L::shared_info_addr(1) + L::kShEvtchnPending) &
+              (1u << 7));
+}
+
+TEST_F(ExceptionTest, SpuriousHandlersAreShortAndCounted) {
+  Activation act;
+  act.reason = ExitReason::apic(ApicInterrupt::spurious);
+  act.vcpu = 0;
+  const RunResult res = m.run(act);
+  ASSERT_TRUE(res.reached_vm_entry);
+  EXPECT_LE(res.counters.inst_retired, 24u);
+  EXPECT_EQ(hv(L::kHvPerfcCounters + 8), 1u);
+}
+
+}  // namespace
+}  // namespace xentry::hv

@@ -1,0 +1,360 @@
+// Behavioural tests for the hypercall surface: each handler's observable
+// effect on guest-visible and hypervisor state, driven through the public
+// Machine API exactly like real activations.
+#include <gtest/gtest.h>
+
+#include "hv/machine.hpp"
+
+namespace xentry::hv {
+namespace {
+
+namespace L = layout;
+using sim::Word;
+
+class HypercallTest : public ::testing::Test {
+ protected:
+  Activation call(Hypercall h, Word a1 = 0, Word a2 = 0, Word a3 = 0,
+                  int vcpu = 1, std::uint64_t seed = 7) {
+    Activation act;
+    act.reason = ExitReason::hypercall(h);
+    act.arg1 = a1;
+    act.arg2 = a2;
+    act.arg3 = a3;
+    act.vcpu = vcpu;
+    act.seed = seed;
+    return act;
+  }
+
+  /// Runs and returns the guest-visible rax (the hypercall return value).
+  Word run_rc(const Activation& act) {
+    const RunResult res = m.run(act);
+    EXPECT_TRUE(res.reached_vm_entry)
+        << handler_symbol(act.reason) << ": "
+        << sim::trap_name(res.trap.kind);
+    const sim::Addr current =
+        m.memory().peek(L::kHvDataBase + L::kHvCurrentVcpu);
+    return m.memory().peek(current + L::kVcpuSaveGprs);
+  }
+
+  Word dom_ram(int dom, std::int64_t off) {
+    return m.memory().peek(L::guest_ram_addr(dom) + off);
+  }
+  Word vcpu_field(int v, std::int64_t off) {
+    return m.memory().peek(L::vcpu_addr(v) + off);
+  }
+  Word dom_field(int d, std::int64_t off) {
+    return m.memory().peek(L::domain_addr(d) + off);
+  }
+
+  Machine m;
+};
+
+TEST_F(HypercallTest, SetTrapTableInstallsValidatedVectors) {
+  // prepare_inputs synthesizes (vector, handler) pairs; run and verify a
+  // table slot took a guest-range handler address.
+  const Activation act = call(Hypercall::set_trap_table, 4);
+  EXPECT_EQ(run_rc(act), 0u);
+  bool any_in_guest_range = false;
+  for (int t = 0; t < kNumGuestExceptions; ++t) {
+    const Word h = vcpu_field(1, L::kVcpuTrapTable + t);
+    const Word ram = L::guest_ram_addr(1);
+    any_in_guest_range |= h >= ram && h < ram + L::kGuestRamStride;
+  }
+  EXPECT_TRUE(any_in_guest_range);
+}
+
+TEST_F(HypercallTest, MmuUpdateWritesWindowAndRejectsBadFrames) {
+  EXPECT_EQ(run_rc(call(Hypercall::mmu_update, 8)), 0u);
+  // At least one window slot written (values are 24-bit-bounded).
+  bool wrote = false;
+  for (int i = 0; i < 64; ++i) {
+    wrote |= dom_ram(1, L::kGuestMmuWindow + i) != 0;
+  }
+  EXPECT_TRUE(wrote);
+}
+
+TEST_F(HypercallTest, StackSwitchValidatesRange) {
+  const Word ram = L::guest_ram_addr(1);
+  EXPECT_EQ(run_rc(call(Hypercall::stack_switch, ram + 0x50)), 0u);
+  EXPECT_EQ(vcpu_field(1, L::kVcpuSaveRsp), ram + 0x50);
+  // Out of range: -EFAULT, and the handler performs no rsp store (the
+  // save slot holds whatever the exit stub recorded for this exit).
+  EXPECT_EQ(static_cast<std::int64_t>(
+                run_rc(call(Hypercall::stack_switch, 0xdead))),
+            -14);
+  const Word rsp = vcpu_field(1, L::kVcpuSaveRsp);
+  EXPECT_GE(rsp, ram + 0xc0);  // the exit stub's synthesized guest rsp
+  EXPECT_LT(rsp, ram + 0xe0);
+}
+
+TEST_F(HypercallTest, SetCallbacksAndNmiOpAndSegmentBase) {
+  const Word ram = L::guest_ram_addr(1);
+  run_rc(call(Hypercall::set_callbacks, ram + 0x11));
+  EXPECT_EQ(vcpu_field(1, L::kVcpuCallback), ram + 0x11);
+  run_rc(call(Hypercall::nmi_op, ram + 0x12));
+  EXPECT_EQ(vcpu_field(1, L::kVcpuNmiCallback), ram + 0x12);
+  run_rc(call(Hypercall::set_segment_base, ram + 0x13));
+  EXPECT_EQ(vcpu_field(1, L::kVcpuSegBase), ram + 0x13);
+  run_rc(call(Hypercall::callback_op, ram + 0x14));
+  EXPECT_EQ(vcpu_field(1, L::kVcpuCallback), ram + 0x14);
+}
+
+TEST_F(HypercallTest, FpuTaskswitchTogglesTsFlag) {
+  run_rc(call(Hypercall::fpu_taskswitch, 1));
+  EXPECT_TRUE(m.memory().peek(L::shared_info_addr(1) + L::kShArchFlags) & 2);
+  run_rc(call(Hypercall::fpu_taskswitch, 0));
+  EXPECT_FALSE(m.memory().peek(L::shared_info_addr(1) + L::kShArchFlags) &
+               2);
+}
+
+TEST_F(HypercallTest, DebugregRoundTrip) {
+  EXPECT_EQ(run_rc(call(Hypercall::set_debugreg, 3, 0xabcd)), 0u);
+  EXPECT_EQ(run_rc(call(Hypercall::get_debugreg, 3)), 0xabcdu);
+}
+
+TEST_F(HypercallTest, UpdateDescriptorValidatesPresentBit) {
+  EXPECT_EQ(run_rc(call(Hypercall::update_descriptor, 2, 0x1001)), 0u);
+  EXPECT_EQ(vcpu_field(1, L::kVcpuGdt + 2), 0x1001u);
+  EXPECT_EQ(static_cast<std::int64_t>(
+                run_rc(call(Hypercall::update_descriptor, 2, 0x1000))),
+            -22);
+  EXPECT_EQ(vcpu_field(1, L::kVcpuGdt + 2), 0x1001u);  // unchanged
+}
+
+TEST_F(HypercallTest, MemoryOpAdjustsReservation) {
+  const Word before = dom_field(1, L::kDomTotPages);
+  EXPECT_EQ(run_rc(call(Hypercall::memory_op, 0, 5)), 5u);  // increase
+  EXPECT_EQ(dom_field(1, L::kDomTotPages), before + 5);
+  // Frame numbers exposed to the app.
+  EXPECT_NE(dom_ram(1, L::kGuestAppPtrs + 0), 0u);
+  EXPECT_EQ(run_rc(call(Hypercall::memory_op, 1, 3)), 3u);  // decrease
+  EXPECT_EQ(dom_field(1, L::kDomTotPages), before + 2);
+}
+
+TEST_F(HypercallTest, MulticallDispatchesThroughTable) {
+  // prepare_inputs builds batches over the multicall-safe subset; the
+  // return value is the number of calls dispatched.
+  EXPECT_EQ(run_rc(call(Hypercall::multicall, 3)), 3u);
+}
+
+TEST_F(HypercallTest, UpdateVaMappingWritesTranslation) {
+  EXPECT_EQ(run_rc(call(Hypercall::update_va_mapping, 0x21, 0x777)), 0u);
+  EXPECT_EQ(dom_ram(1, L::kGuestAppPtrs + 0x21), 0x777u);
+  EXPECT_EQ(static_cast<std::int64_t>(
+                run_rc(call(Hypercall::update_va_mapping, 0x200, 1))),
+            -22);
+}
+
+TEST_F(HypercallTest, SetTimerOpFutureAndPast) {
+  EXPECT_EQ(run_rc(call(Hypercall::set_timer_op, Word{1} << 52)), 0u);
+  EXPECT_EQ(vcpu_field(1, L::kVcpuTimerDeadline), Word{1} << 52);
+  // Advance the clock past 1 ns, then set an already-expired deadline:
+  // it clears and raises the timer softirq instead.
+  Activation tick;
+  tick.reason = ExitReason::apic(ApicInterrupt::timer);
+  tick.vcpu = 1;
+  tick.seed = 3;
+  ASSERT_TRUE(m.run(tick).reached_vm_entry);
+  ASSERT_GT(m.memory().peek(L::kHvDataBase + L::kHvSystemTime), 1u);
+  EXPECT_EQ(run_rc(call(Hypercall::set_timer_op, 1)), 0u);
+  EXPECT_EQ(vcpu_field(1, L::kVcpuTimerDeadline), 0u);
+}
+
+TEST_F(HypercallTest, XenVersionReturnsPackedVersion) {
+  EXPECT_EQ(run_rc(call(Hypercall::xen_version, 0)), (4u << 16) | 1u);
+  // cmd 1 also writes the extraversion string.
+  run_rc(call(Hypercall::xen_version, 1));
+  EXPECT_EQ(dom_ram(1, L::kGuestAppData + 0x10), 0x2e31u);
+}
+
+TEST_F(HypercallTest, ConsoleIoCopiesIntoRing) {
+  const Word before = m.memory().peek(L::kHvDataBase + L::kHvConsolePtr);
+  EXPECT_EQ(run_rc(call(Hypercall::console_io, 6)), 6u);
+  EXPECT_EQ(m.memory().peek(L::kHvDataBase + L::kHvConsolePtr), before + 6);
+}
+
+TEST_F(HypercallTest, GrantTableOpMapsAndUnmaps) {
+  EXPECT_EQ(run_rc(call(Hypercall::grant_table_op, 0, 4)), 4u);  // map
+  Word flags = 0;
+  for (int i = 0; i < L::kNumGrantEntries; ++i) {
+    flags |= dom_field(1, L::kDomGrantTable + i);
+  }
+  EXPECT_TRUE(flags & 1);
+  EXPECT_EQ(run_rc(call(Hypercall::grant_table_op, 1, 4)), 4u);  // unmap
+}
+
+TEST_F(HypercallTest, VmAssistSetsAndClearsBits) {
+  run_rc(call(Hypercall::vm_assist, 0, 3));  // enable type 3
+  EXPECT_TRUE(dom_field(1, L::kDomVmAssist) & (1u << 3));
+  run_rc(call(Hypercall::vm_assist, 1, 3));  // disable
+  EXPECT_FALSE(dom_field(1, L::kDomVmAssist) & (1u << 3));
+}
+
+TEST_F(HypercallTest, OtherdomainMappingNeedsPrivilege) {
+  // From a DomU vcpu: -EPERM.
+  EXPECT_EQ(static_cast<std::int64_t>(run_rc(
+                call(Hypercall::update_va_mapping_otherdomain, 2, 5, 9, 1))),
+            -1);
+  // From Dom0's vcpu 0: writes into the foreign domain.
+  EXPECT_EQ(run_rc(call(Hypercall::update_va_mapping_otherdomain, 2, 5, 9,
+                        0)),
+            0u);
+  EXPECT_EQ(dom_ram(2, L::kGuestAppPtrs + 5), 9u);
+}
+
+TEST_F(HypercallTest, IretRestoresGuestFrameAndClearsPending) {
+  m.memory().poke(L::vcpu_addr(1) + L::kVcpuPendingEvents, 1);
+  const Activation act = call(Hypercall::iret);
+  EXPECT_EQ(run_rc(act), 0u);
+  EXPECT_EQ(vcpu_field(1, L::kVcpuPendingEvents), 0u);
+  // The frame came from guest kernel memory (synthesized by
+  // prepare_inputs within the guest's RAM).
+  const Word rip = vcpu_field(1, L::kVcpuSaveRip);
+  const Word ram = L::guest_ram_addr(1);
+  EXPECT_GE(rip, ram);
+  EXPECT_LT(rip, ram + L::kGuestRamStride);
+}
+
+TEST_F(HypercallTest, VcpuOpUpDownRunstate) {
+  EXPECT_EQ(run_rc(call(Hypercall::vcpu_op, 1, 2)), 0u);  // down vcpu 2
+  EXPECT_EQ(vcpu_field(2, L::kVcpuState),
+            static_cast<Word>(L::kVcpuStateBlocked));
+  EXPECT_EQ(run_rc(call(Hypercall::vcpu_op, 0, 2)), 0u);  // up vcpu 2
+  EXPECT_EQ(vcpu_field(2, L::kVcpuState),
+            static_cast<Word>(L::kVcpuStateRunning));
+  // Advance the clock so the runstate snapshot is nonzero, then export.
+  Activation tick;
+  tick.reason = ExitReason::apic(ApicInterrupt::timer);
+  tick.vcpu = 1;
+  tick.seed = 3;
+  ASSERT_TRUE(m.run(tick).reached_vm_entry);
+  EXPECT_EQ(run_rc(call(Hypercall::vcpu_op, 2, 1)), 0u);  // runstate
+  // Runstate times exported into the guest's time area.
+  EXPECT_NE(dom_ram(1, L::kGuestTimeArea + 4), 0u);  // system time snapshot
+}
+
+TEST_F(HypercallTest, MmuextOpPinsPages) {
+  EXPECT_EQ(run_rc(call(Hypercall::mmuext_op, 1, 5)), 5u);
+  EXPECT_NE(dom_ram(1, L::kGuestPinned), 0u);
+  // op 0 flushes the TLB (perfc only) and must not touch the pin mask.
+  const Word pins = dom_ram(1, L::kGuestPinned);
+  EXPECT_EQ(run_rc(call(Hypercall::mmuext_op, 0, 3)), 3u);
+  EXPECT_EQ(dom_ram(1, L::kGuestPinned), pins);
+}
+
+TEST_F(HypercallTest, XsmOpEnforcesPolicy) {
+  EXPECT_EQ(run_rc(call(Hypercall::xsm_op, 1)), 0u);  // allowed
+  EXPECT_EQ(static_cast<std::int64_t>(run_rc(call(Hypercall::xsm_op, 4))),
+            -13);  // policy bit 2 denied at boot
+}
+
+TEST_F(HypercallTest, SchedOpYieldBlockPoll) {
+  EXPECT_EQ(run_rc(call(Hypercall::sched_op, 0)), 0u);  // yield
+  EXPECT_EQ(run_rc(call(Hypercall::sched_op, 1, 0, 0, 2)), 0u);  // block
+  EXPECT_EQ(vcpu_field(2, L::kVcpuState),
+            static_cast<Word>(L::kVcpuStateBlocked));
+  // Poll on a pending port returns 1 immediately.
+  m.memory().poke(L::shared_info_addr(1) + L::kShEvtchnPending, 1u << 5);
+  EXPECT_EQ(run_rc(call(Hypercall::sched_op, 3, 5, 0, 1)), 1u);
+}
+
+TEST_F(HypercallTest, SchedOpShutdownCrashesDomain) {
+  EXPECT_EQ(run_rc(call(Hypercall::sched_op, 2, 0, 0, 2)), 0u);
+  EXPECT_EQ(dom_field(2, L::kDomState), 1u);
+}
+
+TEST_F(HypercallTest, EventChannelAllocBindSend) {
+  // alloc_unbound finds the first free port (boot leaves 8..15 free).
+  EXPECT_EQ(run_rc(call(Hypercall::event_channel_op, 0)), 8u);
+  EXPECT_EQ(dom_field(1, L::kDomEvtchnVcpu + 8), 1u);
+  // bind port 9 to the current vcpu.
+  EXPECT_EQ(run_rc(call(Hypercall::event_channel_op, 2, 9)), 9u);
+  EXPECT_EQ(dom_field(1, L::kDomEvtchnVcpu + 9), 1u);
+  // send on port 9 sets the pending bit.
+  EXPECT_EQ(run_rc(call(Hypercall::event_channel_op, 1, 9)), 0u);
+  EXPECT_TRUE(m.memory().peek(L::shared_info_addr(1) + L::kShEvtchnPending) &
+              (1u << 9));
+}
+
+TEST_F(HypercallTest, PhysdevOpReroutesIrq) {
+  EXPECT_EQ(run_rc(call(Hypercall::physdev_op, 6, 2)), 0u);
+  // irq 6 now routes to the calling domain (1), port 2.
+  EXPECT_EQ(m.memory().peek(L::kHvDataBase + L::kHvIrqTable + 6),
+            (1u << 8) | 2u);
+}
+
+TEST_F(HypercallTest, HvmOpStoresParam) {
+  EXPECT_EQ(run_rc(call(Hypercall::hvm_op, 2, 0x55)), 0u);
+  EXPECT_EQ(dom_field(1, L::kDomHvmParams + 2), 0x55u);
+}
+
+TEST_F(HypercallTest, SysctlSumsDomainPages) {
+  Word expected = 0;
+  for (int d = 0; d < m.num_domains(); ++d) {
+    expected += dom_field(d, L::kDomTotPages);
+  }
+  EXPECT_EQ(run_rc(call(Hypercall::sysctl, 0)), expected);
+}
+
+TEST_F(HypercallTest, DomctlPrivilegeAndPause) {
+  // DomU caller: denied.
+  EXPECT_EQ(static_cast<std::int64_t>(
+                run_rc(call(Hypercall::domctl, 0, 2, 0, 1))),
+            -1);
+  // Dom0 pauses domain 2 (its vcpu 2 blocks).
+  EXPECT_EQ(run_rc(call(Hypercall::domctl, 0, 2, 0, 0)), 0u);
+  EXPECT_EQ(vcpu_field(2, L::kVcpuState),
+            static_cast<Word>(L::kVcpuStateBlocked));
+  EXPECT_EQ(run_rc(call(Hypercall::domctl, 1, 2, 0, 0)), 0u);  // unpause
+  EXPECT_EQ(vcpu_field(2, L::kVcpuState),
+            static_cast<Word>(L::kVcpuStateRunning));
+  // getinfo packs id<<32 | tot_pages.
+  const Word info = run_rc(call(Hypercall::domctl, 2, 2, 0, 0));
+  EXPECT_EQ(info >> 32, 2u);
+}
+
+TEST_F(HypercallTest, KexecOpValidatesImagePointer) {
+  const Word ram = L::guest_ram_addr(1);
+  EXPECT_EQ(run_rc(call(Hypercall::kexec_op, ram + 0x30)), 0u);
+  EXPECT_EQ(m.memory().peek(L::kHvDataBase + L::kHvKexecImage), ram + 0x30);
+  EXPECT_EQ(
+      static_cast<std::int64_t>(run_rc(call(Hypercall::kexec_op, 0x1234))),
+      -22);
+}
+
+TEST_F(HypercallTest, TmemOpHashesDeterministically) {
+  const Activation act = call(Hypercall::tmem_op, 16);
+  const Word h1 = run_rc(act);
+  const Word h2 = run_rc(act);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, 0u);
+  // Different request contents (different seed) hash differently.
+  Activation other = act;
+  other.seed = 8;
+  EXPECT_NE(run_rc(other), h1);
+}
+
+TEST_F(HypercallTest, PlatformOpSetsWallclock) {
+  EXPECT_EQ(run_rc(call(Hypercall::platform_op, 1, 1500000000)), 0u);
+  EXPECT_EQ(m.memory().peek(L::kHvDataBase + L::kHvWallclockSec),
+            1500000000u);
+  // The shared-info wallclock follows via update_time.
+  EXPECT_EQ(m.memory().peek(L::shared_info_addr(1) + L::kShWcSec),
+            1500000000u);
+}
+
+TEST_F(HypercallTest, SchedOpCompatYieldAndBlock) {
+  EXPECT_EQ(run_rc(call(Hypercall::sched_op_compat, 0)), 0u);
+  EXPECT_EQ(run_rc(call(Hypercall::sched_op_compat, 1, 0, 0, 2)), 0u);
+  EXPECT_EQ(vcpu_field(2, L::kVcpuState),
+            static_cast<Word>(L::kVcpuStateBlocked));
+}
+
+TEST_F(HypercallTest, EventChannelOpCompatDeliversEvent) {
+  EXPECT_EQ(run_rc(call(Hypercall::event_channel_op_compat, 4)), 0u);
+  EXPECT_TRUE(m.memory().peek(L::shared_info_addr(1) + L::kShEvtchnPending) &
+              (1u << 4));
+}
+
+}  // namespace
+}  // namespace xentry::hv

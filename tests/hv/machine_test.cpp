@@ -1,0 +1,341 @@
+#include "hv/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xentry::hv {
+namespace {
+
+namespace L = layout;
+
+// The single most important substrate property: every handler, fed legal
+// inputs, runs fault-free to VM entry — no traps, no assertion failures —
+// across many seeds.  The whole detection story depends on fault-free
+// executions being clean.
+class FaultFreeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFreeSweep, EveryHandlerReachesVmEntry) {
+  Machine m;
+  const std::uint64_t seed = GetParam();
+  for (const ExitReason& r : all_exit_reasons()) {
+    Activation act = m.make_activation(r, seed);
+    RunResult res = m.run(act);
+    EXPECT_TRUE(res.reached_vm_entry)
+        << handler_symbol(r) << " seed=" << seed << " trapped with "
+        << sim::trap_name(res.trap.kind) << " at " << res.trap.fault_addr
+        << " (assert id " << res.trap.aux << ")";
+    EXPECT_GT(res.counters.inst_retired, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFreeSweep,
+                         ::testing::Values(1, 7, 42, 99, 1234, 77777));
+
+TEST(MachineTest, CountersVaryByExitReason) {
+  Machine m;
+  auto run_counters = [&](const ExitReason& r) {
+    return m.run(m.make_activation(r, 5)).counters;
+  };
+  const auto spurious =
+      run_counters(ExitReason::apic(ApicInterrupt::spurious));
+  const auto timer = run_counters(ExitReason::apic(ApicInterrupt::timer));
+  // The timer path (update_time + softirq + schedule) dwarfs the spurious
+  // interrupt handler.
+  EXPECT_GT(timer.inst_retired, 4 * spurious.inst_retired);
+  EXPECT_GT(timer.branches, spurious.branches);
+  EXPECT_GT(timer.stores, spurious.stores);
+}
+
+TEST(MachineTest, DeterministicGivenSeedAndState) {
+  Machine a, b;
+  const Activation act =
+      a.make_activation(ExitReason::hypercall(Hypercall::mmu_update), 11);
+  RunResult ra = a.run(act);
+  RunResult rb = b.run(act);
+  EXPECT_EQ(ra.counters, rb.counters);
+  EXPECT_EQ(ra.steps, rb.steps);
+  const auto diffs = Machine::diff_persistent_state(a, b);
+  EXPECT_TRUE(diffs.empty());
+}
+
+TEST(MachineTest, SnapshotRestoreReproducesRunExactly) {
+  Machine m;
+  const Activation act =
+      m.make_activation(ExitReason::hypercall(Hypercall::console_io), 3);
+  const Machine::Snapshot snap = m.snapshot();
+  RunResult r1 = m.run(act);
+  const auto state1 = m.memory().snapshot();
+  m.restore(snap);
+  RunResult r2 = m.run(act);
+  EXPECT_EQ(r1.counters, r2.counters);
+  EXPECT_EQ(m.memory().snapshot(), state1);
+}
+
+TEST(MachineTest, CpuidEmulationWritesVendorString) {
+  // The paper's Section II example: cpuid trapped via #GP, emulated by the
+  // hypervisor, results placed in the VCPU structure.
+  Machine m;
+  Activation act;
+  act.reason = ExitReason::exception(GuestException::general_protection);
+  act.arg1 = 0x0f;  // cpuid opcode
+  act.arg2 = 0;     // leaf 0
+  act.vcpu = 1;
+  act.seed = 9;
+  RunResult res = m.run(act);
+  ASSERT_TRUE(res.reached_vm_entry);
+  const sim::Addr vc = L::vcpu_addr(1);
+  EXPECT_EQ(m.memory().peek(vc + L::kVcpuSaveGprs + 1), 0x756e6547u);
+  EXPECT_EQ(m.memory().peek(vc + L::kVcpuSaveGprs + 2), 0x6c65746eu);
+  EXPECT_EQ(m.memory().peek(vc + L::kVcpuSaveGprs + 3), 0x49656e69u);
+}
+
+TEST(MachineTest, PageFaultFixupAndInjection) {
+  Machine m;
+  // Mapped L1 slot (va >> 4 < 12): hypervisor fixes up.
+  Activation mapped;
+  mapped.reason = ExitReason::exception(GuestException::page_fault);
+  mapped.arg1 = 0x23;  // l1 idx 2: mapped
+  mapped.vcpu = 1;
+  RunResult r1 = m.run(mapped);
+  ASSERT_TRUE(r1.reached_vm_entry);
+  const sim::Addr ram = L::guest_ram_addr(m.domain_of_vcpu(1));
+  EXPECT_NE(m.memory().peek(ram + L::kGuestAppPtrs + 0x23), 0u);
+
+  // Unmapped slot: injected into the guest (frame written, rip vectored).
+  Activation unmapped = mapped;
+  unmapped.arg1 = 0xf7;  // l1 idx 15: unmapped
+  RunResult r2 = m.run(unmapped);
+  ASSERT_TRUE(r2.reached_vm_entry);
+  // inject_guest_event overwrites the error-code slot with the vector.
+  EXPECT_EQ(m.memory().peek(ram + L::kGuestExcFrame + 3), 14u);
+  const sim::Addr vc = L::vcpu_addr(1);
+  EXPECT_EQ(m.memory().peek(vc + L::kVcpuSaveRip),
+            m.memory().peek(vc + L::kVcpuTrapTable + 14));
+}
+
+TEST(MachineTest, EventChannelSendSetsPendingAndWakes) {
+  Machine m;
+  Activation act;
+  act.reason = ExitReason::hypercall(Hypercall::event_channel_op);
+  act.arg1 = 1;  // send
+  act.arg2 = 3;  // port 3 (bound at boot)
+  act.vcpu = 1;
+  RunResult res = m.run(act);
+  ASSERT_TRUE(res.reached_vm_entry);
+  const int dom = m.domain_of_vcpu(1);
+  const sim::Word pending =
+      m.memory().peek(L::shared_info_addr(dom) + L::kShEvtchnPending);
+  EXPECT_TRUE(pending & (1u << 3));
+}
+
+TEST(MachineTest, MaskedEventChannelIsNotDelivered) {
+  Machine m;
+  const int dom = 1;
+  const int vcpu = 1;  // vcpu 1 belongs to domain 1 with 1 vcpu/domain
+  m.memory().poke(L::shared_info_addr(dom) + L::kShEvtchnMask, 1u << 3);
+  Activation act;
+  act.reason = ExitReason::hypercall(Hypercall::event_channel_op);
+  act.arg1 = 1;
+  act.arg2 = 3;
+  act.vcpu = vcpu;
+  ASSERT_TRUE(m.run(act).reached_vm_entry);
+  EXPECT_EQ(m.memory().peek(L::shared_info_addr(dom) + L::kShEvtchnPending),
+            0u);
+}
+
+TEST(MachineTest, IrqRoutesThroughEventChannel) {
+  Machine m;
+  Activation act = m.make_activation(ExitReason::irq(4), 2, 0);
+  ASSERT_TRUE(m.run(act).reached_vm_entry);
+  // Boot routing: irq 4 -> dom (4 % 3 = 1), port (4 % 8 = 4).
+  const sim::Word pending =
+      m.memory().peek(L::shared_info_addr(1) + L::kShEvtchnPending);
+  EXPECT_TRUE(pending & (1u << 4));
+}
+
+TEST(MachineTest, SchedYieldSwitchesCurrentVcpu) {
+  Machine m;
+  Activation act;
+  act.reason = ExitReason::hypercall(Hypercall::sched_op);
+  act.arg1 = 0;  // yield
+  act.vcpu = 0;
+  ASSERT_TRUE(m.run(act).reached_vm_entry);
+  const sim::Word current = m.memory().peek(L::kHvDataBase +
+                                            L::kHvCurrentVcpu);
+  EXPECT_NE(current, L::vcpu_addr(0));  // round-robin moved on
+}
+
+TEST(MachineTest, BlockThenWakeRoundTrip) {
+  Machine m;
+  Activation block;
+  block.reason = ExitReason::hypercall(Hypercall::sched_op);
+  block.arg1 = 1;
+  block.vcpu = 1;
+  ASSERT_TRUE(m.run(block).reached_vm_entry);
+  EXPECT_EQ(m.memory().peek(L::vcpu_addr(1) + L::kVcpuState),
+            static_cast<sim::Word>(L::kVcpuStateBlocked));
+  // An event for domain 1 port 2 (bound to vcpu 1) wakes it.
+  Activation wake;
+  wake.reason = ExitReason::hypercall(Hypercall::event_channel_op_compat);
+  wake.arg1 = 2;
+  wake.vcpu = 1;
+  // Note: run() itself marks the exiting vcpu running; use a different
+  // vcpu to deliver so the wake path does the work.
+  wake.vcpu = 0;
+  // Route the event at domain 0... instead drive via do_irq to domain 1:
+  Activation irq = m.make_activation(ExitReason::irq(1), 5, 0);  // dom 1
+  ASSERT_TRUE(m.run(irq).reached_vm_entry);
+  EXPECT_EQ(m.memory().peek(L::vcpu_addr(1) + L::kVcpuState),
+            static_cast<sim::Word>(L::kVcpuStateRunning));
+}
+
+TEST(MachineTest, InjectionFlipIsAppliedAndTracked) {
+  Machine m;
+  const Activation act =
+      m.make_activation(ExitReason::hypercall(Hypercall::mmu_update), 21, 1);
+
+  Machine::Snapshot snap = m.snapshot();
+  RunResult golden = m.run(act);
+  ASSERT_TRUE(golden.reached_vm_entry);
+
+  // Inject into a register the handler actually uses: rdi (the count).
+  m.restore(snap);
+  Injection inj{2, sim::Reg::rdi, 2};
+  RunOptions opts;
+  opts.injection = &inj;
+  RunResult faulted = m.run(act, opts);
+  EXPECT_TRUE(faulted.injected);
+  EXPECT_TRUE(faulted.activated);
+  EXPECT_GE(faulted.activation_step, inj.at_step);
+}
+
+TEST(MachineTest, NonActivatedFaultLeavesNoTrace) {
+  Machine m;
+  const Activation act = m.make_activation(
+      ExitReason::apic(ApicInterrupt::spurious), 4, 0);
+  Machine::Snapshot snap = m.snapshot();
+  RunResult golden = m.run(act);
+  const auto golden_state = m.memory().snapshot();
+  ASSERT_TRUE(golden.reached_vm_entry);
+
+  // The spurious handler never reads rdx: flip it and expect a masked run.
+  m.restore(snap);
+  Injection inj{1, sim::Reg::rdx, 40};
+  RunOptions opts;
+  opts.injection = &inj;
+  RunResult faulted = m.run(act, opts);
+  EXPECT_TRUE(faulted.injected);
+  EXPECT_FALSE(faulted.activated);
+  EXPECT_TRUE(faulted.reached_vm_entry);
+  EXPECT_EQ(faulted.counters, golden.counters);
+  EXPECT_EQ(m.memory().snapshot(), golden_state);
+}
+
+TEST(MachineTest, RipFlipUsuallyTrapsBeforeVmEntry) {
+  Machine m;
+  const Activation act =
+      m.make_activation(ExitReason::hypercall(Hypercall::console_io), 8, 2);
+  Machine::Snapshot snap = m.snapshot();
+  ASSERT_TRUE(m.run(act).reached_vm_entry);
+
+  int traps = 0;
+  for (int bit : {20, 30, 40, 50, 60}) {
+    m.restore(snap);
+    Injection inj{5, sim::Reg::rip, bit};
+    RunOptions opts;
+    opts.injection = &inj;
+    RunResult res = m.run(act, opts);
+    if (!res.reached_vm_entry) {
+      ++traps;
+      EXPECT_EQ(res.trap.kind, sim::TrapKind::PageFault);
+    }
+  }
+  EXPECT_EQ(traps, 5);  // high rip bits leave the code region entirely
+}
+
+TEST(MachineTest, TraceCapturesControlFlowDivergence) {
+  Machine m;
+  const Activation act = m.make_activation(
+      ExitReason::hypercall(Hypercall::grant_table_op), 13, 1);
+  Machine::Snapshot snap = m.snapshot();
+
+  std::vector<sim::Addr> golden_trace;
+  RunOptions gopts;
+  gopts.trace = &golden_trace;
+  ASSERT_TRUE(m.run(act, gopts).reached_vm_entry);
+
+  m.restore(snap);
+  std::vector<sim::Addr> fault_trace;
+  Injection inj{3, sim::Reg::rsi, 1};  // corrupt the batch count
+  RunOptions fopts;
+  fopts.trace = &fault_trace;
+  fopts.injection = &inj;
+  RunResult res = m.run(act, fopts);
+  if (res.reached_vm_entry) {
+    EXPECT_NE(golden_trace, fault_trace);  // extra/dropped loop iterations
+  }
+}
+
+TEST(MachineTest, AssertionCountingCountsRetiredAsserts) {
+  Machine m;
+  const Activation act =
+      m.make_activation(ExitReason::hypercall(Hypercall::mmu_update), 2, 0);
+  RunOptions opts;
+  opts.count_assertions = true;
+  RunResult res = m.run(act, opts);
+  ASSERT_TRUE(res.reached_vm_entry);
+  EXPECT_GE(res.assertions_executed, 1u);  // the batch-bound assert
+}
+
+TEST(MachineTest, AssertionsDetectCorruptedIdleState) {
+  // Corrupt a vcpu state so a wake/schedule path trips an assertion or
+  // at least diverges; specifically force the idle-vcpu assert by marking
+  // the idle vcpu non-idle and emptying the runqueue.
+  Machine m;
+  m.memory().poke(L::kHvDataBase + L::kHvRunqCount, 0);
+  m.memory().poke(L::vcpu_addr(m.num_vcpus()) + L::kVcpuState,
+                  L::kVcpuStateRunning);  // corrupted idle vcpu
+  Activation act;
+  act.reason = ExitReason::hypercall(Hypercall::sched_op_compat);
+  act.arg1 = 1;  // block: forces schedule onto the idle path
+  act.vcpu = 0;
+  RunResult res = m.run(act);
+  ASSERT_FALSE(res.reached_vm_entry);
+  EXPECT_EQ(res.trap.kind, sim::TrapKind::AssertFailed);
+  EXPECT_EQ(res.trap.aux, static_cast<std::uint32_t>(kAssertIdleVcpu));
+}
+
+TEST(MachineTest, PersistentDiffClassifiesTimeValues) {
+  Machine a, b;
+  const sim::Addr sh = L::shared_info_addr(1);
+  b.memory().poke(sh + L::kShSystemTime, 12345);
+  const auto diffs = Machine::diff_persistent_state(a, b);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].cls, L::OutputClass::TimeValue);
+  EXPECT_EQ(diffs[0].domain, 1);
+}
+
+TEST(MachineTest, PersistentDiffClassifiesGuestControl) {
+  Machine a, b;
+  b.memory().poke(L::vcpu_addr(2) + L::kVcpuSaveRip, 0xbad);
+  const auto diffs = Machine::diff_persistent_state(a, b);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].cls, L::OutputClass::GuestControl);
+  EXPECT_EQ(diffs[0].domain, 2);
+}
+
+TEST(MachineTest, StackIsExcludedFromPersistentDiff) {
+  Machine a, b;
+  b.memory().poke(L::kStackBase + 5, 77);
+  EXPECT_TRUE(Machine::diff_persistent_state(a, b).empty());
+}
+
+TEST(MachineTest, BadVcpuIndexThrows) {
+  Machine m;
+  Activation act;
+  act.reason = ExitReason::softirq();
+  act.vcpu = 99;
+  EXPECT_THROW(m.run(act), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xentry::hv

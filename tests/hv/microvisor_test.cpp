@@ -1,0 +1,111 @@
+#include "hv/microvisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hv/layout.hpp"
+
+namespace xentry::hv {
+namespace {
+
+TEST(MicrovisorTest, BuildsAndHasAllHandlerSymbols) {
+  Microvisor mv = build_microvisor();
+  for (const ExitReason& r : all_exit_reasons()) {
+    const std::string sym(handler_symbol(r));
+    EXPECT_TRUE(mv.program.has_symbol(sym)) << sym;
+    EXPECT_TRUE(mv.program.has_symbol(sym + "_body")) << sym;
+  }
+  // Shared subroutines.
+  for (const char* s :
+       {"ret_to_guest", "evtchn_set_pending", "runq_insert", "update_time",
+        "schedule", "sched_block", "inject_guest_event", "do_softirq_work",
+        "do_tasklet_work"}) {
+    EXPECT_TRUE(mv.program.has_symbol(s)) << s;
+  }
+}
+
+TEST(MicrovisorTest, EntryResolvesEveryReason) {
+  Microvisor mv = build_microvisor();
+  for (const ExitReason& r : all_exit_reasons()) {
+    const sim::Addr e = mv.entry(r);
+    EXPECT_TRUE(mv.program.contains(e));
+  }
+}
+
+TEST(MicrovisorTest, AssertionFreeBuildHasNoAssertOpcodes) {
+  MicrovisorOptions opt;
+  opt.assertions = false;
+  Microvisor mv = build_microvisor(opt);
+  for (sim::Addr a = mv.program.base(); a < mv.program.end(); ++a) {
+    EXPECT_FALSE(sim::is_assertion(mv.program.at(a).op))
+        << "assertion at " << a;
+  }
+}
+
+TEST(MicrovisorTest, AssertingBuildContainsPaperListings) {
+  Microvisor mv = build_microvisor();
+  bool saw_trap_vector = false, saw_idle_vcpu = false;
+  for (sim::Addr a = mv.program.base(); a < mv.program.end(); ++a) {
+    const sim::Instruction& insn = mv.program.at(a);
+    if (!sim::is_assertion(insn.op)) continue;
+    if (insn.aux == kAssertTrapVector) saw_trap_vector = true;
+    if (insn.aux == kAssertIdleVcpu) saw_idle_vcpu = true;
+  }
+  EXPECT_TRUE(saw_trap_vector);  // Listing 1
+  EXPECT_TRUE(saw_idle_vcpu);    // Listing 2
+}
+
+TEST(MicrovisorTest, StaticFootprintIsThin) {
+  // Section IV: Xentry is ~2,000 lines — a thin layer.  Our whole
+  // microvisor text should stay small too (well under the paper's nested
+  // virtualization comparison point).
+  Microvisor mv = build_microvisor();
+  EXPECT_GT(mv.program.size(), 1000u);   // it is a real hypervisor...
+  EXPECT_LT(mv.program.size(), 10000u);  // ...but a miniature one
+}
+
+TEST(MicrovisorTest, HypercallBodyTableMarksSafeSubset) {
+  Microvisor mv = build_microvisor();
+  const auto table = mv.hypercall_body_table();
+  ASSERT_EQ(table.size(), static_cast<std::size_t>(kNumHypercalls));
+  int populated = 0;
+  for (sim::Addr a : table) {
+    if (a != 0) {
+      ++populated;
+      EXPECT_TRUE(mv.program.contains(a));
+    }
+  }
+  EXPECT_EQ(populated, 4);
+}
+
+TEST(MicrovisorTest, RejectsBadOptions) {
+  MicrovisorOptions opt;
+  opt.num_domains = 0;
+  EXPECT_THROW(build_microvisor(opt), std::invalid_argument);
+  opt.num_domains = 100;
+  EXPECT_THROW(build_microvisor(opt), std::invalid_argument);
+  opt.num_domains = 4;
+  opt.vcpus_per_domain = 8;  // 32 + idle > kMaxVcpus
+  EXPECT_THROW(build_microvisor(opt), std::invalid_argument);
+}
+
+TEST(MicrovisorTest, ExitReasonCodesAreUniqueAndStable) {
+  std::set<int> codes;
+  for (const ExitReason& r : all_exit_reasons()) {
+    EXPECT_TRUE(codes.insert(r.code()).second) << r.code();
+  }
+  EXPECT_EQ(ExitReason::hypercall(Hypercall::sched_op).code(), 28);
+  EXPECT_EQ(ExitReason::exception(GuestException::page_fault).code(), 114);
+  EXPECT_EQ(ExitReason::apic(ApicInterrupt::timer).code(), 200);
+  EXPECT_EQ(ExitReason::irq(3).code(), 303);
+  EXPECT_EQ(ExitReason::softirq().code(), 400);
+}
+
+TEST(MicrovisorTest, AssertNamesAreDistinct) {
+  std::set<std::string> names;
+  for (std::uint32_t id = kAssertTrapVector; id < kAssertMaxId; ++id) {
+    EXPECT_TRUE(names.insert(assert_name(id)).second) << id;
+  }
+}
+
+}  // namespace
+}  // namespace xentry::hv

@@ -1,0 +1,108 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+namespace xentry::ml {
+namespace {
+
+Dataset tiny() {
+  Dataset ds({"a", "b"});
+  ds.add(std::array<std::int64_t, 2>{1, 10}, Label::Correct);
+  ds.add(std::array<std::int64_t, 2>{2, 20}, Label::Incorrect);
+  ds.add(std::array<std::int64_t, 2>{3, 30}, Label::Correct);
+  return ds;
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset ds = tiny();
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_EQ(ds.value(1, 1), 20);
+  EXPECT_EQ(ds.label(1), Label::Incorrect);
+  EXPECT_EQ(ds.count(Label::Correct), 2u);
+  EXPECT_EQ(ds.count(Label::Incorrect), 1u);
+  auto row = ds.row(2);
+  EXPECT_EQ(row[0], 3);
+  EXPECT_EQ(row[1], 30);
+}
+
+TEST(DatasetTest, FeatureCountMismatchThrows) {
+  Dataset ds({"a", "b"});
+  std::array<std::int64_t, 1> one{1};
+  EXPECT_THROW(ds.add(one, Label::Correct), std::invalid_argument);
+}
+
+TEST(DatasetTest, NoFeaturesThrows) {
+  EXPECT_THROW(Dataset({}), std::invalid_argument);
+}
+
+TEST(DatasetTest, SplitPartitionsAllRows) {
+  Dataset ds({"x"});
+  for (int i = 0; i < 100; ++i) {
+    std::array<std::int64_t, 1> v{i};
+    ds.add(v, i % 3 == 0 ? Label::Incorrect : Label::Correct);
+  }
+  auto [train, test] = ds.split(0.7, 42);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+  EXPECT_EQ(train.count(Label::Incorrect) + test.count(Label::Incorrect),
+            ds.count(Label::Incorrect));
+}
+
+TEST(DatasetTest, SplitIsDeterministicPerSeed) {
+  Dataset ds({"x"});
+  for (int i = 0; i < 50; ++i) {
+    std::array<std::int64_t, 1> v{i};
+    ds.add(v, Label::Correct);
+  }
+  auto [a1, b1] = ds.split(0.5, 7);
+  auto [a2, b2] = ds.split(0.5, 7);
+  ASSERT_EQ(a1.size(), a2.size());
+  for (std::size_t i = 0; i < a1.size(); ++i) {
+    EXPECT_EQ(a1.value(i, 0), a2.value(i, 0));
+  }
+}
+
+TEST(DatasetTest, SplitRejectsBadFraction) {
+  Dataset ds = tiny();
+  EXPECT_THROW(ds.split(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(ds.split(1.5, 1), std::invalid_argument);
+}
+
+TEST(DatasetTest, BootstrapPreservesSizeAndDrawsFromSource) {
+  Dataset ds = tiny();
+  std::mt19937_64 rng(3);
+  Dataset bag = ds.bootstrap(rng);
+  EXPECT_EQ(bag.size(), ds.size());
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    const std::int64_t a = bag.value(i, 0);
+    EXPECT_TRUE(a == 1 || a == 2 || a == 3);
+  }
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Dataset ds = tiny();
+  std::stringstream ss;
+  ds.save_csv(ss);
+  Dataset back = Dataset::load_csv(ss);
+  ASSERT_EQ(back.size(), ds.size());
+  ASSERT_EQ(back.num_features(), ds.num_features());
+  EXPECT_EQ(back.feature_names(), ds.feature_names());
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    EXPECT_EQ(back.label(r), ds.label(r));
+    for (std::size_t c = 0; c < ds.num_features(); ++c) {
+      EXPECT_EQ(back.value(r, c), ds.value(r, c));
+    }
+  }
+}
+
+TEST(DatasetTest, CsvRejectsMissingLabelColumn) {
+  std::stringstream ss("a,b\n1,2\n");
+  EXPECT_THROW(Dataset::load_csv(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xentry::ml

@@ -1,0 +1,179 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "ml/metrics.hpp"
+
+namespace xentry::ml {
+namespace {
+
+// A linearly separable dataset on feature 1 (threshold 200), mimicking the
+// paper's RT example.
+Dataset separable() {
+  Dataset ds({"VMER", "RT"});
+  for (int i = 0; i < 10; ++i) {
+    std::array<std::int64_t, 2> v{1, 100 + i};
+    ds.add(v, Label::Correct);
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::array<std::int64_t, 2> v{1, 300 + i};
+    ds.add(v, Label::Incorrect);
+  }
+  return ds;
+}
+
+TEST(DecisionTreeTest, LearnsPerfectSplit) {
+  Dataset ds = separable();
+  DecisionTree tree;
+  tree.train(ds);
+  auto m = evaluate(ds, [&](auto row) { return tree.predict(row); });
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  // One internal node is enough.
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  EXPECT_EQ(tree.depth(), 2);
+  // The split must be on RT, between 109 and 300.
+  const TreeNode& root = tree.nodes()[0];
+  EXPECT_EQ(root.feature, 1);
+  EXPECT_GE(root.threshold, 109);
+  EXPECT_LT(root.threshold, 300);
+}
+
+TEST(DecisionTreeTest, PredictCountsComparisons) {
+  Dataset ds = separable();
+  DecisionTree tree;
+  tree.train(ds);
+  int cmps = -1;
+  std::array<std::int64_t, 2> v{1, 150};
+  EXPECT_EQ(tree.predict(v, &cmps), Label::Correct);
+  EXPECT_EQ(cmps, 1);
+}
+
+TEST(DecisionTreeTest, PureDatasetYieldsSingleLeaf) {
+  Dataset ds({"x"});
+  for (int i = 0; i < 8; ++i) {
+    std::array<std::int64_t, 1> v{i};
+    ds.add(v, Label::Correct);
+  }
+  DecisionTree tree;
+  tree.train(ds);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  std::array<std::int64_t, 1> v{100};
+  EXPECT_EQ(tree.predict(v), Label::Correct);
+}
+
+TEST(DecisionTreeTest, EmptyDatasetThrows) {
+  Dataset ds({"x"});
+  DecisionTree tree;
+  EXPECT_THROW(tree.train(ds), std::invalid_argument);
+}
+
+TEST(DecisionTreeTest, UntrainedPredictThrows) {
+  DecisionTree tree;
+  std::array<std::int64_t, 1> v{0};
+  EXPECT_THROW(tree.predict(v), std::logic_error);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsTree) {
+  // AND-shaped data needs two split levels; max_depth 0 forces a leaf.
+  Dataset ds({"a", "b"});
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int k = 0; k < 3; ++k) {
+        std::array<std::int64_t, 2> v{a, b};
+        ds.add(v, (a == 1 && b == 1) ? Label::Incorrect : Label::Correct);
+      }
+    }
+  }
+  TreeParams deep;
+  DecisionTree full;
+  full.train(ds, deep);
+  auto mfull = evaluate(ds, [&](auto row) { return full.predict(row); });
+  EXPECT_DOUBLE_EQ(mfull.accuracy(), 1.0);
+  EXPECT_GE(full.depth(), 3);  // root + two levels
+
+  TreeParams shallow;
+  shallow.max_depth = 0;
+  DecisionTree stump;
+  stump.train(ds, shallow);
+  EXPECT_EQ(stump.nodes().size(), 1u);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Dataset ds = separable();
+  TreeParams p;
+  p.min_samples_leaf = 8;  // 15 samples cannot make two leaves of >= 8
+  DecisionTree tree;
+  tree.train(ds, p);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  EXPECT_EQ(tree.nodes()[0].label, Label::Correct);  // majority
+}
+
+TEST(DecisionTreeTest, NoisyDataMajorityLeaves) {
+  // Identical feature values with conflicting labels cannot be split.
+  Dataset ds({"x"});
+  std::array<std::int64_t, 1> v{7};
+  for (int i = 0; i < 9; ++i) ds.add(v, Label::Correct);
+  for (int i = 0; i < 3; ++i) ds.add(v, Label::Incorrect);
+  DecisionTree tree;
+  tree.train(ds);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  EXPECT_EQ(tree.predict(v), Label::Correct);
+}
+
+TEST(DecisionTreeTest, RandomTreeParamsMatchPaper) {
+  // floor(log2(5)) + 1 = 3 features considered per split (Section III-B).
+  EXPECT_EQ(random_tree_params(5, 0).random_features, 3);
+  EXPECT_EQ(random_tree_params(4, 0).random_features, 3);
+  EXPECT_EQ(random_tree_params(8, 0).random_features, 4);
+  EXPECT_EQ(random_tree_params(1, 0).random_features, 1);
+}
+
+TEST(DecisionTreeTest, RandomTreeStillSeparatesEasyData) {
+  Dataset ds = separable();
+  DecisionTree tree;
+  tree.train(ds, random_tree_params(ds.num_features(), 5));
+  auto m = evaluate(ds, [&](auto row) { return tree.predict(row); });
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+}
+
+TEST(DecisionTreeTest, DeterministicForFixedSeed) {
+  Dataset ds = separable();
+  DecisionTree t1, t2;
+  t1.train(ds, random_tree_params(2, 99));
+  t2.train(ds, random_tree_params(2, 99));
+  ASSERT_EQ(t1.nodes().size(), t2.nodes().size());
+  for (std::size_t i = 0; i < t1.nodes().size(); ++i) {
+    EXPECT_EQ(t1.nodes()[i].feature, t2.nodes()[i].feature);
+    EXPECT_EQ(t1.nodes()[i].threshold, t2.nodes()[i].threshold);
+  }
+}
+
+TEST(DecisionTreeTest, ToStringMentionsFeatureNames) {
+  Dataset ds = separable();
+  DecisionTree tree;
+  tree.train(ds);
+  const std::string s = tree.to_string(ds.feature_names());
+  EXPECT_NE(s.find("RT"), std::string::npos);
+  EXPECT_NE(s.find("Incorrect"), std::string::npos);
+}
+
+// Property-style sweep: with any seed, a random tree trained on separable
+// data stays perfect on the training set.
+class RandomTreeSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeSeedSweep, PerfectOnSeparableTrainingData) {
+  Dataset ds = separable();
+  DecisionTree tree;
+  tree.train(ds, random_tree_params(ds.num_features(), GetParam()));
+  auto m = evaluate(ds, [&](auto row) { return tree.predict(row); });
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace xentry::ml

@@ -1,0 +1,84 @@
+#include "ml/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+
+#include "ml/metrics.hpp"
+
+namespace xentry::ml {
+namespace {
+
+Dataset noisy_data(std::uint64_t seed, int n) {
+  Dataset ds({"a", "b", "c"});
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> u(0, 100);
+  std::bernoulli_distribution noise(0.05);
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t a = u(rng), b = u(rng), c = u(rng);
+    bool incorrect = (a > 60 && b < 40) || c > 90;
+    if (noise(rng)) incorrect = !incorrect;
+    std::array<std::int64_t, 3> v{a, b, c};
+    ds.add(v, incorrect ? Label::Incorrect : Label::Correct);
+  }
+  return ds;
+}
+
+TEST(RandomForestTest, TrainsAndPredicts) {
+  Dataset train = noisy_data(1, 600);
+  Dataset test = noisy_data(2, 300);
+  RandomForest forest;
+  RandomForest::Params p;
+  p.num_trees = 11;
+  p.seed = 7;
+  forest.train(train, p);
+  ASSERT_TRUE(forest.trained());
+  EXPECT_EQ(forest.trees().size(), 11u);
+  auto m = evaluate(test, [&](auto row) { return forest.predict(row); });
+  EXPECT_GT(m.accuracy(), 0.85);
+}
+
+TEST(RandomForestTest, ForestAtLeastMatchesSingleTreeOnNoisyTest) {
+  Dataset train = noisy_data(3, 800);
+  Dataset test = noisy_data(4, 400);
+  DecisionTree single;
+  single.train(train, random_tree_params(3, 5));
+  RandomForest forest;
+  RandomForest::Params p;
+  p.num_trees = 21;
+  p.seed = 5;
+  forest.train(train, p);
+  auto ms = evaluate(test, [&](auto row) { return single.predict(row); });
+  auto mf = evaluate(test, [&](auto row) { return forest.predict(row); });
+  EXPECT_GE(mf.accuracy() + 0.02, ms.accuracy());
+}
+
+TEST(RandomForestTest, ComparisonsAccumulateAcrossTrees) {
+  Dataset train = noisy_data(6, 300);
+  RandomForest forest;
+  RandomForest::Params p;
+  p.num_trees = 5;
+  forest.train(train, p);
+  std::array<std::int64_t, 3> v{50, 50, 50};
+  int cmps = 0;
+  forest.predict(v, &cmps);
+  EXPECT_GE(cmps, 5);  // at least one comparison per non-trivial tree
+}
+
+TEST(RandomForestTest, InvalidParamsThrow) {
+  Dataset train = noisy_data(1, 10);
+  RandomForest forest;
+  RandomForest::Params p;
+  p.num_trees = 0;
+  EXPECT_THROW(forest.train(train, p), std::invalid_argument);
+}
+
+TEST(RandomForestTest, UntrainedPredictThrows) {
+  RandomForest forest;
+  std::array<std::int64_t, 3> v{0, 0, 0};
+  EXPECT_THROW(forest.predict(v), std::logic_error);
+}
+
+}  // namespace
+}  // namespace xentry::ml

@@ -1,0 +1,55 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace xentry::ml {
+namespace {
+
+TEST(MetricsTest, ConfusionMatrixRates) {
+  ConfusionMatrix m;
+  m.true_positive = 90;
+  m.false_negative = 10;
+  m.false_positive = 5;
+  m.true_negative = 895;
+  EXPECT_EQ(m.total(), 1000u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.985);
+  EXPECT_DOUBLE_EQ(m.false_positive_rate(), 5.0 / 900.0);
+  EXPECT_DOUBLE_EQ(m.false_negative_rate(), 0.1);
+  EXPECT_DOUBLE_EQ(m.precision(), 90.0 / 95.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.9);
+}
+
+TEST(MetricsTest, EmptyMatrixIsSafe) {
+  ConfusionMatrix m;
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+}
+
+TEST(MetricsTest, EvaluateAgainstOracle) {
+  Dataset ds({"x"});
+  for (int i = 0; i < 10; ++i) {
+    std::array<std::int64_t, 1> v{i};
+    ds.add(v, i >= 7 ? Label::Incorrect : Label::Correct);
+  }
+  // Predictor flags x >= 6: one false positive (x=6), no false negatives.
+  auto m = evaluate(ds, [](std::span<const std::int64_t> row) {
+    return row[0] >= 6 ? Label::Incorrect : Label::Correct;
+  });
+  EXPECT_EQ(m.true_positive, 3u);
+  EXPECT_EQ(m.false_positive, 1u);
+  EXPECT_EQ(m.false_negative, 0u);
+  EXPECT_EQ(m.true_negative, 6u);
+}
+
+TEST(MetricsTest, ToStringContainsAccuracy) {
+  ConfusionMatrix m;
+  m.true_negative = 99;
+  m.false_positive = 1;
+  EXPECT_NE(m.to_string().find("accuracy=99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xentry::ml

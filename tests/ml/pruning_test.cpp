@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+
+#include "ml/decision_tree.hpp"
+#include "ml/metrics.hpp"
+#include "ml/rules.hpp"
+
+namespace xentry::ml {
+namespace {
+
+// Noisy data the tree will overfit without pruning.
+Dataset noisy(std::uint64_t seed, int n, double noise) {
+  Dataset ds({"a", "b"});
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> u(0, 100);
+  std::bernoulli_distribution flip(noise);
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t a = u(rng), b = u(rng);
+    bool incorrect = a > 60 && b < 40;
+    if (flip(rng)) incorrect = !incorrect;
+    std::array<std::int64_t, 2> v{a, b};
+    ds.add(v, incorrect ? Label::Incorrect : Label::Correct);
+  }
+  return ds;
+}
+
+TEST(PruningTest, ShrinksOverfitTreeWithoutHurtingHeldOutAccuracy) {
+  const Dataset train = noisy(1, 1500, 0.10);
+  const Dataset validation = noisy(2, 600, 0.10);
+  const Dataset test = noisy(3, 800, 0.10);
+
+  DecisionTree tree;
+  tree.train(train);
+  const std::size_t leaves_before = tree.leaf_count();
+  const double acc_before =
+      evaluate(test, [&](auto r) { return tree.predict(r); }).accuracy();
+
+  const std::size_t removed = tree.prune_reduced_error(validation);
+  EXPECT_GT(removed, 0u);
+  EXPECT_LT(tree.leaf_count(), leaves_before);
+  const double acc_after =
+      evaluate(test, [&](auto r) { return tree.predict(r); }).accuracy();
+  // Reduced-error pruning must not hurt held-out accuracy materially, and
+  // with 10% label noise it typically helps.
+  EXPECT_GE(acc_after, acc_before - 0.01);
+}
+
+TEST(PruningTest, PerfectTreeOnCleanDataMayPruneOnlyRedundancy) {
+  // Separable data: pruning with a faithful validation set must keep the
+  // tree perfect.
+  Dataset ds({"x"});
+  for (int i = 0; i < 50; ++i) {
+    std::array<std::int64_t, 1> v{i};
+    ds.add(v, i >= 25 ? Label::Incorrect : Label::Correct);
+  }
+  DecisionTree tree;
+  tree.train(ds);
+  tree.prune_reduced_error(ds);
+  const auto m = evaluate(ds, [&](auto r) { return tree.predict(r); });
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+}
+
+TEST(PruningTest, UnreachedSubtreesCollapse) {
+  // A validation set that never exercises the right branch lets it fold.
+  Dataset train({"x"});
+  for (int i = 0; i < 20; ++i) {
+    std::array<std::int64_t, 1> v{i};
+    train.add(v, i >= 10 ? Label::Incorrect : Label::Correct);
+  }
+  DecisionTree tree;
+  tree.train(train);
+  ASSERT_GT(tree.depth(), 1);
+  Dataset validation({"x"});
+  std::array<std::int64_t, 1> v{0};
+  validation.add(v, Label::Correct);
+  tree.prune_reduced_error(validation);
+  // Root collapses to the training majority (a tie -> Correct).
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(PruningTest, PrunedTreeStillCompilesToRules) {
+  const Dataset train = noisy(5, 800, 0.15);
+  DecisionTree tree;
+  tree.train(train);
+  tree.prune_reduced_error(noisy(6, 300, 0.15));
+  const RuleSet rules = RuleSet::compile(tree);
+  for (std::int64_t a = 0; a <= 100; a += 9) {
+    for (std::int64_t b = 0; b <= 100; b += 11) {
+      std::array<std::int64_t, 2> v{a, b};
+      EXPECT_EQ(rules.evaluate(v), tree.predict(v));
+    }
+  }
+}
+
+TEST(PruningTest, UntrainedTreeThrows) {
+  DecisionTree tree;
+  Dataset ds({"x"});
+  std::array<std::int64_t, 1> v{0};
+  ds.add(v, Label::Correct);
+  EXPECT_THROW(tree.prune_reduced_error(ds), std::logic_error);
+}
+
+}  // namespace
+}  // namespace xentry::ml

@@ -1,0 +1,110 @@
+#include "ml/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+
+#include "ml/metrics.hpp"
+
+namespace xentry::ml {
+namespace {
+
+Dataset two_feature_data() {
+  Dataset ds({"WM", "RT"});
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<int> wm(0, 60), rt(0, 400);
+  for (int i = 0; i < 400; ++i) {
+    const std::int64_t w = wm(rng), r = rt(rng);
+    // Ground truth resembling Fig. 6: incorrect when 10<WM<30 and RT>200,
+    // or WM>=30 and RT>320.
+    const bool incorrect = (w > 10 && w < 30 && r > 200) || (w >= 30 && r > 320);
+    std::array<std::int64_t, 2> v{w, r};
+    ds.add(v, incorrect ? Label::Incorrect : Label::Correct);
+  }
+  return ds;
+}
+
+TEST(RuleSetTest, CompiledRulesAgreeWithTreeEverywhere) {
+  Dataset ds = two_feature_data();
+  DecisionTree tree;
+  tree.train(ds);
+  RuleSet rules = RuleSet::compile(tree);
+  for (std::int64_t w = 0; w <= 60; w += 3) {
+    for (std::int64_t r = 0; r <= 400; r += 17) {
+      std::array<std::int64_t, 2> v{w, r};
+      int tc = 0, rc = 0;
+      EXPECT_EQ(tree.predict(v, &tc), rules.evaluate(v, &rc));
+      EXPECT_EQ(tc, rc);
+    }
+  }
+}
+
+TEST(RuleSetTest, MaxComparisonsBoundsObservedComparisons) {
+  Dataset ds = two_feature_data();
+  DecisionTree tree;
+  tree.train(ds);
+  RuleSet rules = RuleSet::compile(tree);
+  const int bound = rules.max_comparisons();
+  EXPECT_GT(bound, 0);
+  int worst = 0;
+  for (std::int64_t w = 0; w <= 60; ++w) {
+    for (std::int64_t r = 0; r <= 400; r += 5) {
+      std::array<std::int64_t, 2> v{w, r};
+      int c = 0;
+      rules.evaluate(v, &c);
+      worst = std::max(worst, c);
+      EXPECT_LE(c, bound);
+    }
+  }
+  EXPECT_GT(worst, 1);  // tree is nontrivial
+}
+
+TEST(RuleSetTest, CompileUntrainedThrows) {
+  DecisionTree tree;
+  EXPECT_THROW(RuleSet::compile(tree), std::invalid_argument);
+}
+
+TEST(RuleSetTest, EvaluateEmptyThrows) {
+  RuleSet rs;
+  std::array<std::int64_t, 1> v{0};
+  EXPECT_THROW(rs.evaluate(v), std::logic_error);
+}
+
+TEST(RuleSetTest, SerializeRoundTrip) {
+  Dataset ds = two_feature_data();
+  DecisionTree tree;
+  tree.train(ds);
+  RuleSet rules = RuleSet::compile(tree);
+  RuleSet back = RuleSet::deserialize(rules.serialize());
+  ASSERT_EQ(back.size(), rules.size());
+  for (std::int64_t w = 0; w <= 60; w += 7) {
+    for (std::int64_t r = 0; r <= 400; r += 23) {
+      std::array<std::int64_t, 2> v{w, r};
+      EXPECT_EQ(back.evaluate(v), rules.evaluate(v));
+    }
+  }
+}
+
+TEST(RuleSetTest, DeserializeRejectsGarbage) {
+  EXPECT_THROW(RuleSet::deserialize(""), std::runtime_error);
+  EXPECT_THROW(RuleSet::deserialize("not a rule\n"), std::runtime_error);
+}
+
+TEST(RuleSetTest, SingleLeafTree) {
+  Dataset ds({"x"});
+  std::array<std::int64_t, 1> v{1};
+  ds.add(v, Label::Incorrect);
+  ds.add(v, Label::Incorrect);
+  DecisionTree tree;
+  tree.train(ds);
+  RuleSet rules = RuleSet::compile(tree);
+  EXPECT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules.max_comparisons(), 0);
+  int c = 99;
+  EXPECT_EQ(rules.evaluate(v, &c), Label::Incorrect);
+  EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace xentry::ml

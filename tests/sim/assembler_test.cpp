@@ -1,0 +1,113 @@
+#include "sim/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xentry::sim {
+namespace {
+
+TEST(AssemblerTest, EmitsAndResolvesForwardLabel) {
+  Assembler as(100);
+  auto skip = as.make_label();
+  as.movi(Reg::rax, 1);
+  as.jmp(skip);
+  as.movi(Reg::rax, 2);
+  as.bind(skip);
+  as.hlt();
+  Program p = as.finish();
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.at(101).op, Opcode::Jmp);
+  EXPECT_EQ(p.at(101).imm, 103);  // bound after the second movi
+}
+
+TEST(AssemblerTest, BackwardLabelLoop) {
+  Assembler as(0);
+  as.movi(Reg::rcx, 3);
+  auto top = as.here();
+  as.dec(Reg::rcx);
+  as.cmpi(Reg::rcx, 0);
+  as.jne(top);
+  as.hlt();
+  Program p = as.finish();
+  EXPECT_EQ(p.at(3).imm, 1);
+}
+
+TEST(AssemblerTest, GlobalSymbolsAndCallBySymbol) {
+  Assembler as(1000);
+  as.global("main");
+  as.call("helper");
+  as.hlt();
+  as.pad_ud(3);
+  as.global("helper");
+  as.movi(Reg::rax, 7);
+  as.ret();
+  Program p = as.finish();
+  EXPECT_EQ(p.symbol("main"), 1000u);
+  EXPECT_EQ(p.symbol("helper"), 1005u);
+  EXPECT_EQ(p.at(1000).imm, 1005);
+  EXPECT_EQ(p.at(1002).op, Opcode::Ud);
+}
+
+TEST(AssemblerTest, SymbolAtFindsEnclosingFunction) {
+  Assembler as(0);
+  as.global("f");
+  as.nop();
+  as.nop();
+  as.global("g");
+  as.nop();
+  Program p = as.finish();
+  EXPECT_EQ(p.symbol_at(1), "f");
+  EXPECT_EQ(p.symbol_at(2), "g");
+}
+
+TEST(AssemblerTest, UnboundLabelThrowsAtFinish) {
+  Assembler as(0);
+  auto l = as.make_label();
+  as.jmp(l);
+  EXPECT_THROW(as.finish(), std::logic_error);
+}
+
+TEST(AssemblerTest, UnknownCallSymbolThrowsAtFinish) {
+  Assembler as(0);
+  as.call("nope");
+  EXPECT_THROW(as.finish(), std::logic_error);
+}
+
+TEST(AssemblerTest, DuplicateSymbolThrows) {
+  Assembler as(0);
+  as.global("f");
+  EXPECT_THROW(as.global("f"), std::logic_error);
+}
+
+TEST(AssemblerTest, DoubleBindThrows) {
+  Assembler as(0);
+  auto l = as.here();
+  EXPECT_THROW(as.bind(l), std::logic_error);
+}
+
+TEST(AssemblerTest, UnknownSymbolLookupThrows) {
+  Assembler as(0);
+  as.nop();
+  Program p = as.finish();
+  EXPECT_THROW(p.symbol("missing"), std::out_of_range);
+}
+
+TEST(AssemblerTest, AssertionCarriesId) {
+  Assembler as(0);
+  as.assert_le(Reg::rbx, 19, 42);
+  Program p = as.finish();
+  EXPECT_EQ(p.at(0).op, Opcode::AssertLeRI);
+  EXPECT_EQ(p.at(0).aux, 42u);
+  EXPECT_EQ(p.at(0).imm, 19);
+}
+
+TEST(AssemblerTest, DisassembleRendersOperands) {
+  Instruction load{Opcode::Load, Reg::rax, Reg::rbx, 8, 0};
+  EXPECT_EQ(disassemble(load), "load rax, [rbx+8]");
+  Instruction store{Opcode::Store, Reg::rsi, Reg::rdx, -2, 0};
+  EXPECT_EQ(disassemble(store), "store [rsi-2], rdx");
+  Instruction mov{Opcode::MovRI, Reg::r10, Reg::rax, 5, 0};
+  EXPECT_EQ(disassemble(mov), "mov r10, 5");
+}
+
+}  // namespace
+}  // namespace xentry::sim

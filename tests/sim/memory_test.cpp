@@ -1,0 +1,110 @@
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xentry::sim {
+namespace {
+
+TEST(MemoryTest, MappedReadWriteRoundTrips) {
+  Memory mem;
+  mem.map(0x1000, 64, Perm::ReadWrite, "data");
+  ASSERT_FALSE(mem.write(0x1000, 42));
+  Word v = 0;
+  ASSERT_FALSE(mem.read(0x1000, v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(MemoryTest, UnmappedReadFaults) {
+  Memory mem;
+  mem.map(0x1000, 64, Perm::ReadWrite, "data");
+  Word v = 0;
+  Trap t = mem.read(0x0fff, v);
+  EXPECT_EQ(t.kind, TrapKind::PageFault);
+  EXPECT_EQ(t.fault_addr, 0x0fffu);
+  t = mem.read(0x1040, v);
+  EXPECT_EQ(t.kind, TrapKind::PageFault);
+}
+
+TEST(MemoryTest, UnmappedWriteFaults) {
+  Memory mem;
+  mem.map(0x1000, 64, Perm::ReadWrite, "data");
+  EXPECT_EQ(mem.write(0x2000, 1).kind, TrapKind::PageFault);
+}
+
+TEST(MemoryTest, ReadOnlyWriteRaisesGeneralProtection) {
+  Memory mem;
+  mem.map(0x1000, 16, Perm::Read, "rodata");
+  EXPECT_EQ(mem.write(0x1005, 9).kind, TrapKind::GeneralProtection);
+  Word v = 1;
+  EXPECT_FALSE(mem.read(0x1005, v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(MemoryTest, OverlappingMapThrows) {
+  Memory mem;
+  mem.map(0x1000, 64, Perm::ReadWrite, "a");
+  EXPECT_THROW(mem.map(0x103f, 2, Perm::ReadWrite, "b"),
+               std::invalid_argument);
+  EXPECT_THROW(mem.map(0x0fff, 2, Perm::ReadWrite, "c"),
+               std::invalid_argument);
+  // Adjacent is fine.
+  EXPECT_NO_THROW(mem.map(0x1040, 4, Perm::ReadWrite, "d"));
+  EXPECT_NO_THROW(mem.map(0x0ffe, 2, Perm::ReadWrite, "e"));
+}
+
+TEST(MemoryTest, EmptyRegionThrows) {
+  Memory mem;
+  EXPECT_THROW(mem.map(0x1000, 0, Perm::ReadWrite, "z"),
+               std::invalid_argument);
+}
+
+TEST(MemoryTest, RegionLookupAcrossSeveralRegions) {
+  Memory mem;
+  mem.map(0x100, 16, Perm::ReadWrite, "lo");
+  mem.map(0x10000, 16, Perm::ReadWrite, "mid");
+  mem.map(0x8000000000000000ull, 16, Perm::ReadWrite, "hi");
+  EXPECT_TRUE(mem.is_mapped(0x100));
+  EXPECT_TRUE(mem.is_mapped(0x1000f));
+  EXPECT_TRUE(mem.is_mapped(0x800000000000000full));
+  EXPECT_FALSE(mem.is_mapped(0x110));
+  EXPECT_FALSE(mem.is_mapped(0xffff));
+  EXPECT_EQ(mem.region_at(0x10008)->name, "mid");
+}
+
+TEST(MemoryTest, SnapshotRestoreRoundTrips) {
+  Memory mem;
+  mem.map(0x0, 8, Perm::ReadWrite, "a");
+  mem.map(0x100, 8, Perm::ReadWrite, "b");
+  mem.poke(0x3, 7);
+  mem.poke(0x104, 9);
+  auto snap = mem.snapshot();
+  mem.poke(0x3, 100);
+  mem.poke(0x104, 200);
+  mem.restore(snap);
+  EXPECT_EQ(mem.peek(0x3), 7u);
+  EXPECT_EQ(mem.peek(0x104), 9u);
+}
+
+TEST(MemoryTest, ClearZeroesEverything) {
+  Memory mem;
+  mem.map(0x0, 8, Perm::ReadWrite, "a");
+  mem.poke(0x1, 5);
+  mem.clear();
+  EXPECT_EQ(mem.peek(0x1), 0u);
+}
+
+TEST(MemoryTest, BitFlippedPointerLandsOutsideRegions) {
+  // The property the fault model relies on: flipping a high bit of a valid
+  // pointer almost always leaves every mapped region.
+  Memory mem;
+  mem.map(0x10000, 1024, Perm::ReadWrite, "hv_data");
+  const Addr ptr = 0x10010;
+  int out_of_range = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    if (!mem.is_mapped(ptr ^ (Addr{1} << bit))) ++out_of_range;
+  }
+  EXPECT_GE(out_of_range, 50);
+}
+
+}  // namespace
+}  // namespace xentry::sim

@@ -1,0 +1,74 @@
+#include "sim/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hpp"
+#include "sim/cpu.hpp"
+#include "sim/memory.hpp"
+
+namespace xentry::sim {
+namespace {
+
+TEST(PerfCountersTest, DisabledByDefault) {
+  PerfCounters pc;
+  EXPECT_FALSE(pc.enabled());
+  pc.on_retire(true, true, true);
+  EXPECT_EQ(pc.raw().inst_retired, 0u);
+}
+
+TEST(PerfCountersTest, ArmDisarmCycle) {
+  PerfCounters pc;
+  pc.arm();
+  pc.on_retire(false, true, false);
+  pc.on_retire(true, false, false);
+  PerfSnapshot s = pc.disarm();
+  EXPECT_EQ(s.inst_retired, 2u);
+  EXPECT_EQ(s.branches, 1u);
+  EXPECT_EQ(s.loads, 1u);
+  EXPECT_EQ(s.stores, 0u);
+  // After disarm, counting stops.
+  pc.on_retire(true, true, true);
+  EXPECT_EQ(pc.raw().inst_retired, 2u);
+  // Re-arming clears.
+  pc.arm();
+  EXPECT_EQ(pc.raw().inst_retired, 0u);
+}
+
+TEST(PerfCountersTest, CpuCountsEventClassesExactly) {
+  // The feature vector of the paper's Table I, measured on a concrete
+  // program: 2 branches (call+ret), 1 load (ret pops), 2 stores
+  // (call pushes + explicit store), plus the ALU/mov instructions.
+  Assembler as(0x1000);
+  as.global("main");
+  as.movi(Reg::rbx, 0x100);     // 1 insn
+  as.call("leaf");              // branch + store
+  as.store(Reg::rbx, Reg::rax); // store
+  as.hlt();
+  as.global("leaf");
+  as.movi(Reg::rax, 5);         // 1 insn
+  as.ret();                     // branch + load
+  Program p = as.finish();
+  Memory mem;
+  mem.map(0x100, 16, Perm::ReadWrite, "data");
+  mem.map(0x200, 64, Perm::ReadWrite, "stack");
+  Cpu cpu(&p, &mem);
+  cpu.reset(p.symbol("main"), 0x240);
+  cpu.counters().arm();
+  ASSERT_EQ(cpu.run(100).status, StepInfo::Status::Halted);
+  PerfSnapshot s = cpu.counters().disarm();
+  EXPECT_EQ(s.inst_retired, 5u);  // hlt does not retire
+  EXPECT_EQ(s.branches, 2u);
+  EXPECT_EQ(s.loads, 1u);
+  EXPECT_EQ(s.stores, 2u);
+}
+
+TEST(PerfCountersTest, SnapshotEquality) {
+  PerfSnapshot a{10, 2, 3, 4};
+  PerfSnapshot b{10, 2, 3, 4};
+  PerfSnapshot c{10, 2, 3, 5};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace xentry::sim

@@ -1,0 +1,98 @@
+#include "sim/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hpp"
+
+namespace xentry::sim {
+namespace {
+
+TEST(VerifierTest, CleanProgramPasses) {
+  Assembler as(100);
+  as.global("main");
+  as.movi(Reg::rax, 1);
+  as.call("leaf");
+  as.hlt();
+  as.pad_ud(2);
+  as.global("leaf");
+  as.ret();
+  const Program p = as.finish();
+  const VerifierReport r = verify_program(p);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.padding, 2u);
+  EXPECT_EQ(r.instructions, 4u);
+  EXPECT_EQ(r.branches, 2u);  // call + ret
+}
+
+TEST(VerifierTest, DetectsBranchOutOfRange) {
+  Assembler as(0);
+  as.emit_raw({Opcode::Jmp, Reg::rax, Reg::rax, 999, 0});
+  const Program p = as.finish();
+  const VerifierReport r = verify_program(p);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].kind, VerifierIssue::Kind::BranchOutOfRange);
+  EXPECT_EQ(r.issues[0].target, 999u);
+}
+
+TEST(VerifierTest, DetectsBranchIntoPadding) {
+  Assembler as(0);
+  as.emit_raw({Opcode::Je, Reg::rax, Reg::rax, 2, 0});
+  as.hlt();
+  as.pad_ud(1);
+  const Program p = as.finish();
+  const VerifierReport r = verify_program(p);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].kind, VerifierIssue::Kind::BranchIntoPadding);
+}
+
+TEST(VerifierTest, DetectsFallthroughIntoPadding) {
+  Assembler as(0);
+  as.movi(Reg::rax, 1);  // falls into the Ud below: missing ret/hlt
+  as.pad_ud(1);
+  const Program p = as.finish();
+  const VerifierReport r = verify_program(p);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].kind, VerifierIssue::Kind::FallthroughIntoPadding);
+}
+
+TEST(VerifierTest, DetectsUnknownAssertId) {
+  Assembler as(0);
+  as.assert_le(Reg::rax, 5, 99);
+  as.hlt();
+  const Program p = as.finish();
+  VerifierOptions opt;
+  opt.max_assert_id = 10;
+  const VerifierReport r = verify_program(p, opt);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].kind, VerifierIssue::Kind::UnknownAssertId);
+  // Without the bound the program is clean.
+  EXPECT_TRUE(verify_program(p).ok());
+}
+
+TEST(VerifierTest, DetectsCallToNonSymbol) {
+  Assembler as(0);
+  as.global("main");
+  as.emit_raw({Opcode::Call, Reg::rax, Reg::rax, 2, 0});  // mid-function
+  as.hlt();
+  as.nop();
+  as.hlt();
+  const Program p = as.finish();
+  const VerifierReport r = verify_program(p);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].kind, VerifierIssue::Kind::CallTargetNotSymbol);
+  VerifierOptions lax;
+  lax.calls_must_hit_symbols = false;
+  EXPECT_TRUE(verify_program(p, lax).ok());
+}
+
+TEST(VerifierTest, ReportRendersIssues) {
+  Assembler as(0);
+  as.emit_raw({Opcode::Jmp, Reg::rax, Reg::rax, 999, 0});
+  const VerifierReport r = verify_program(as.finish());
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("branch_out_of_range"), std::string::npos);
+  EXPECT_NE(s.find("999"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xentry::sim

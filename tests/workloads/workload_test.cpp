@@ -1,0 +1,138 @@
+#include "workloads/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace xentry::wl {
+namespace {
+
+TEST(WorkloadTest, AllProfilesNonEmpty) {
+  for (Benchmark b : all_benchmarks()) {
+    for (VirtMode m : {VirtMode::Para, VirtMode::Hvm}) {
+      WorkloadProfile p = profile(b, m);
+      EXPECT_FALSE(p.mix.empty()) << benchmark_name(b);
+      EXPECT_GT(p.rate_median, 0.0);
+      EXPECT_GT(p.disturbance, 0.0);
+    }
+  }
+}
+
+TEST(WorkloadTest, ParaRatesSitInPaperBands) {
+  // Fig. 3: PV activation frequency is generally 5K-100K/s; freqmine
+  // peaks near 650K/s; HVM mostly 2K-10K/s.
+  for (Benchmark b : all_benchmarks()) {
+    const WorkloadProfile pv = profile(b, VirtMode::Para);
+    EXPECT_GE(pv.rate_median, 5000.0) << benchmark_name(b);
+    EXPECT_LE(pv.rate_median, 100000.0) << benchmark_name(b);
+    const WorkloadProfile hvm = profile(b, VirtMode::Hvm);
+    EXPECT_GE(hvm.rate_median, 2000.0) << benchmark_name(b);
+    EXPECT_LE(hvm.rate_median, 10000.0) << benchmark_name(b);
+  }
+  EXPECT_DOUBLE_EQ(profile(Benchmark::freqmine, VirtMode::Para).rate_cap,
+                   650000.0);
+}
+
+TEST(WorkloadTest, Bzip2IsTheQuietestParaWorkload) {
+  const double bzip2 = profile(Benchmark::bzip2, VirtMode::Para).rate_median;
+  for (Benchmark b : all_benchmarks()) {
+    if (b == Benchmark::bzip2) continue;
+    EXPECT_LT(bzip2, profile(b, VirtMode::Para).rate_median)
+        << benchmark_name(b);
+  }
+}
+
+TEST(WorkloadTest, GeneratorProducesLegalActivations) {
+  hv::Machine m;
+  WorkloadGenerator gen(m, profile(Benchmark::postmark, VirtMode::Para), 9);
+  for (int i = 0; i < 300; ++i) {
+    hv::Activation act = gen.next();
+    hv::RunResult res = m.run(act);
+    ASSERT_TRUE(res.reached_vm_entry)
+        << hv::handler_symbol(act.reason) << " trapped: "
+        << sim::trap_name(res.trap.kind);
+  }
+  EXPECT_EQ(gen.activations_generated(), 300u);
+}
+
+TEST(WorkloadTest, GeneratorIsDeterministicPerSeed) {
+  hv::Machine m;
+  WorkloadGenerator a(m, profile(Benchmark::mcf, VirtMode::Para), 4);
+  WorkloadGenerator b(m, profile(Benchmark::mcf, VirtMode::Para), 4);
+  for (int i = 0; i < 50; ++i) {
+    hv::Activation x = a.next();
+    hv::Activation y = b.next();
+    EXPECT_EQ(x.reason.code(), y.reason.code());
+    EXPECT_EQ(x.seed, y.seed);
+    EXPECT_EQ(x.vcpu, y.vcpu);
+  }
+}
+
+TEST(WorkloadTest, MixturesReflectBenchmarkCharacter) {
+  hv::Machine m;
+  auto count_category = [&](Benchmark b, hv::ExitCategory cat) {
+    WorkloadGenerator gen(m, profile(b, VirtMode::Para), 12);
+    int n = 0;
+    for (int i = 0; i < 2000; ++i) {
+      if (gen.next().reason.category == cat) ++n;
+    }
+    return n;
+  };
+  // I/O-bound postmark produces far more device IRQs than CPU-bound bzip2.
+  EXPECT_GT(count_category(Benchmark::postmark, hv::ExitCategory::Irq),
+            4 * count_category(Benchmark::bzip2, hv::ExitCategory::Irq) + 10);
+  // Memory-bound mcf leans on memory-management hypercalls.
+  WorkloadGenerator mcf(m, profile(Benchmark::mcf, VirtMode::Para), 12);
+  int mmu = 0;
+  for (int i = 0; i < 2000; ++i) {
+    hv::Activation act = mcf.next();
+    if (act.reason.category == hv::ExitCategory::Hypercall &&
+        (act.reason.index == static_cast<int>(hv::Hypercall::mmu_update) ||
+         act.reason.index ==
+             static_cast<int>(hv::Hypercall::update_va_mapping))) {
+      ++mmu;
+    }
+  }
+  EXPECT_GT(mmu, 300);
+}
+
+TEST(WorkloadTest, RateSamplingRespectsCap) {
+  hv::Machine m;
+  WorkloadGenerator gen(m, profile(Benchmark::freqmine, VirtMode::Para), 3);
+  double max_rate = 0;
+  for (int i = 0; i < 500; ++i) {
+    max_rate = std::max(max_rate, gen.sample_rate());
+  }
+  EXPECT_LE(max_rate, 650000.0);
+  EXPECT_GT(max_rate, 100000.0);  // the heavy tail is exercised
+}
+
+TEST(WorkloadTest, HvmRatesAreLowerThanPara) {
+  hv::Machine m;
+  for (Benchmark b : all_benchmarks()) {
+    WorkloadGenerator pv(m, profile(b, VirtMode::Para), 5);
+    WorkloadGenerator hvm(m, profile(b, VirtMode::Hvm), 5);
+    double pv_sum = 0, hvm_sum = 0;
+    for (int i = 0; i < 200; ++i) {
+      pv_sum += pv.sample_rate();
+      hvm_sum += hvm.sample_rate();
+    }
+    EXPECT_GT(pv_sum, hvm_sum) << benchmark_name(b);
+  }
+}
+
+TEST(WorkloadTest, Names) {
+  EXPECT_EQ(benchmark_name(Benchmark::freqmine), "freqmine");
+  EXPECT_EQ(virt_mode_name(VirtMode::Para), "para");
+  EXPECT_EQ(virt_mode_name(VirtMode::Hvm), "hvm");
+  EXPECT_EQ(all_benchmarks().size(), static_cast<std::size_t>(kNumBenchmarks));
+}
+
+TEST(WorkloadTest, EmptyMixtureThrows) {
+  hv::Machine m;
+  WorkloadProfile empty;
+  EXPECT_THROW(WorkloadGenerator(m, empty, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xentry::wl

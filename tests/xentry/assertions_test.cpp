@@ -1,0 +1,66 @@
+#include "xentry/assertions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xentry {
+namespace {
+
+TEST(AssertionRegistryTest, BuiltInsRegistered) {
+  AssertionRegistry reg;
+  EXPECT_EQ(reg.size(),
+            static_cast<std::size_t>(hv::kAssertMaxId - hv::kAssertTrapVector));
+  EXPECT_TRUE(reg.known(hv::kAssertTrapVector));
+  EXPECT_TRUE(reg.known(hv::kAssertIdleVcpu));
+  EXPECT_EQ(reg.description(hv::kAssertIdleVcpu),
+            "is_idle_vcpu_before_idle");
+}
+
+TEST(AssertionRegistryTest, UnknownIdHasFallbackDescription) {
+  AssertionRegistry reg;
+  EXPECT_FALSE(reg.known(9999));
+  EXPECT_EQ(reg.description(9999), "(unregistered assertion)");
+}
+
+TEST(AssertionRegistryTest, CustomRegistrationAndDuplicates) {
+  AssertionRegistry reg;
+  reg.register_assertion(500, "my custom invariant");
+  EXPECT_TRUE(reg.known(500));
+  EXPECT_EQ(reg.description(500), "my custom invariant");
+  EXPECT_THROW(reg.register_assertion(500, "again"), std::invalid_argument);
+  EXPECT_THROW(reg.register_assertion(hv::kAssertIdleVcpu, "clash"),
+               std::invalid_argument);
+}
+
+TEST(AssertionRegistryTest, FireCounting) {
+  AssertionRegistry reg;
+  EXPECT_EQ(reg.total_fires(), 0u);
+  reg.record_fire(hv::kAssertIdleVcpu);
+  reg.record_fire(hv::kAssertIdleVcpu);
+  reg.record_fire(hv::kAssertEvtchnPort);
+  reg.record_fire(4242);  // unknown ids tracked too
+  EXPECT_EQ(reg.fires(hv::kAssertIdleVcpu), 2u);
+  EXPECT_EQ(reg.fires(hv::kAssertEvtchnPort), 1u);
+  EXPECT_EQ(reg.fires(4242), 1u);
+  EXPECT_EQ(reg.total_fires(), 4u);
+}
+
+TEST(AssertionRegistryTest, RowsSortedWithFireCounts) {
+  AssertionRegistry reg;
+  reg.record_fire(hv::kAssertIdleVcpu);
+  auto rows = reg.rows();
+  ASSERT_FALSE(rows.empty());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].id, rows[i].id);
+  }
+  bool found = false;
+  for (const auto& r : rows) {
+    if (r.id == hv::kAssertIdleVcpu) {
+      EXPECT_EQ(r.fires, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace xentry

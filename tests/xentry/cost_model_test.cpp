@@ -1,0 +1,43 @@
+#include "xentry/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xentry {
+namespace {
+
+TEST(CostModelTest, RuntimeOnlyIsAssertionsOnly) {
+  CostParams p;
+  ActivationCost c = activation_cost(p, 5, 8);
+  EXPECT_DOUBLE_EQ(c.runtime_only_cycles, 5 * p.cycles_per_assertion);
+  EXPECT_GT(c.with_transition_cycles, c.runtime_only_cycles);
+}
+
+TEST(CostModelTest, TransitionCostIncludesAllComponents) {
+  CostParams p;
+  ActivationCost c = activation_cost(p, 0, 10);
+  EXPECT_DOUBLE_EQ(c.with_transition_cycles,
+                   p.interception_cycles + p.counter_program_cycles +
+                       p.counter_read_cycles +
+                       10 * p.cycles_per_comparison);
+}
+
+TEST(CostModelTest, OverheadScalesLinearlyWithRate) {
+  CostParams p;
+  const double o1 = overhead_fraction(p, 10000, 200);
+  const double o2 = overhead_fraction(p, 20000, 200);
+  EXPECT_NEAR(o2, 2 * o1, 1e-12);
+  // 10K activations/s at ~200 cycles on a 2.13 GHz core: well under 1%.
+  EXPECT_LT(o1, 0.01);
+}
+
+TEST(CostModelTest, PaperScaleSanity) {
+  // The paper's worst case: postmark with maximum overhead 11.7%.  Even a
+  // pessimistic rate x cost combination stays in that order of magnitude.
+  CostParams p;
+  const double worst = overhead_fraction(p, 300000, 800);
+  EXPECT_GT(worst, 0.05);
+  EXPECT_LT(worst, 0.20);
+}
+
+}  // namespace
+}  // namespace xentry

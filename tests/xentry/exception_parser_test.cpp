@@ -1,0 +1,53 @@
+#include "xentry/exception_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xentry {
+namespace {
+
+TEST(ExceptionParserTest, FatalHardwareExceptions) {
+  ExceptionParser p;
+  for (sim::TrapKind k :
+       {sim::TrapKind::InvalidOpcode, sim::TrapKind::PageFault,
+        sim::TrapKind::GeneralProtection, sim::TrapKind::StackFault}) {
+    EXPECT_EQ(p.parse(sim::Trap{k, 0, 0}), ExceptionVerdict::Fatal)
+        << sim::trap_name(k);
+  }
+}
+
+TEST(ExceptionParserTest, AssertionsAreNotHardware) {
+  ExceptionParser p;
+  EXPECT_EQ(p.parse(sim::Trap{sim::TrapKind::AssertFailed, 0, 3}),
+            ExceptionVerdict::NotHardware);
+  EXPECT_EQ(p.parse(sim::Trap{}), ExceptionVerdict::NotHardware);
+}
+
+TEST(ExceptionParserTest, PolicyControlsWatchdogAndDivide) {
+  ExceptionParser::Policy policy;
+  policy.watchdog_is_fatal = false;
+  policy.divide_error_is_fatal = false;
+  ExceptionParser p(policy);
+  EXPECT_EQ(p.parse(sim::Trap{sim::TrapKind::Watchdog, 0, 0}),
+            ExceptionVerdict::Benign);
+  EXPECT_EQ(p.parse(sim::Trap{sim::TrapKind::DivideError, 0, 0}),
+            ExceptionVerdict::Benign);
+  ExceptionParser strict;
+  EXPECT_EQ(strict.parse(sim::Trap{sim::TrapKind::Watchdog, 0, 0}),
+            ExceptionVerdict::Fatal);
+  EXPECT_EQ(strict.parse(sim::Trap{sim::TrapKind::DivideError, 0, 0}),
+            ExceptionVerdict::Fatal);
+}
+
+TEST(ExceptionParserTest, DescribeMentionsKindAndAssertId) {
+  const std::string s =
+      ExceptionParser::describe(sim::Trap{sim::TrapKind::AssertFailed, 7, 9});
+  EXPECT_NE(s.find("ASSERT"), std::string::npos);
+  EXPECT_NE(s.find("9"), std::string::npos);
+  EXPECT_NE(ExceptionParser::describe(
+                sim::Trap{sim::TrapKind::PageFault, 0xdead, 0})
+                .find("#PF"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xentry

@@ -1,0 +1,41 @@
+#include "xentry/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xentry {
+namespace {
+
+TEST(FeaturesTest, FromCountersAndReason) {
+  sim::PerfSnapshot s{100, 20, 30, 40};
+  FeatureVector f = FeatureVector::from(
+      hv::ExitReason::hypercall(hv::Hypercall::sched_op), s);
+  EXPECT_EQ(f.vmer, 28);
+  EXPECT_EQ(f.rt, 100);
+  EXPECT_EQ(f.br, 20);
+  EXPECT_EQ(f.rm, 30);
+  EXPECT_EQ(f.wm, 40);
+}
+
+TEST(FeaturesTest, AsArrayOrderMatchesTableOne) {
+  FeatureVector f{1, 2, 3, 4, 5};
+  auto a = f.as_array();
+  EXPECT_EQ(a[0], 1);  // VMER
+  EXPECT_EQ(a[1], 2);  // RT
+  EXPECT_EQ(a[2], 3);  // BR
+  EXPECT_EQ(a[3], 4);  // RM
+  EXPECT_EQ(a[4], 5);  // WM
+  ASSERT_EQ(feature_names().size(), static_cast<std::size_t>(kNumFeatures));
+  EXPECT_EQ(feature_names()[0], "VMER");
+  EXPECT_EQ(feature_names()[4], "WM");
+}
+
+TEST(FeaturesTest, Equality) {
+  FeatureVector a{1, 2, 3, 4, 5};
+  FeatureVector b{1, 2, 3, 4, 5};
+  FeatureVector c{1, 2, 3, 4, 6};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace xentry

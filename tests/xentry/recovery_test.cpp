@@ -1,0 +1,58 @@
+#include "xentry/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xentry {
+namespace {
+
+TEST(RecoveryTest, ExpectedOverheadClosedForm) {
+  RecoveryParams p;
+  p.copy_ns = 1000;
+  p.false_positive_rate = 0.01;
+  // 10 activations of 5000 ns in a 1 ms window.
+  std::vector<double> acts(10, 5000.0);
+  const double o = expected_recovery_overhead(p, acts, 1e6);
+  // copies: 10 * 1000 = 10000; fp re-exec: 0.01 * 50000 = 500.
+  EXPECT_NEAR(o, (10000.0 + 500.0) / 1e6, 1e-12);
+}
+
+TEST(RecoveryTest, MonteCarloBracketsExpectation) {
+  RecoveryParams p;  // paper defaults: 1900 ns copy, 0.7% FP
+  std::vector<double> acts(5000, 3000.0);
+  const double window = 1e9;  // 1 s
+  const double expected = expected_recovery_overhead(p, acts, window);
+  RecoveryOverhead mc = estimate_recovery_overhead(p, acts, window, 100, 42);
+  EXPECT_LE(mc.min, mc.mean);
+  EXPECT_LE(mc.mean, mc.max);
+  EXPECT_NEAR(mc.mean, expected, expected * 0.2);
+}
+
+TEST(RecoveryTest, DeterministicPerSeed) {
+  RecoveryParams p;
+  std::vector<double> acts(100, 2000.0);
+  auto a = estimate_recovery_overhead(p, acts, 1e7, 10, 7);
+  auto b = estimate_recovery_overhead(p, acts, 1e7, 10, 7);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+}
+
+TEST(RecoveryTest, ZeroFalsePositivesLeaveOnlyCopyCost) {
+  RecoveryParams p;
+  p.false_positive_rate = 0.0;
+  std::vector<double> acts(10, 1000.0);
+  auto mc = estimate_recovery_overhead(p, acts, 1e6, 5, 1);
+  EXPECT_DOUBLE_EQ(mc.min, mc.max);
+  EXPECT_DOUBLE_EQ(mc.mean, 10 * p.copy_ns / 1e6);
+}
+
+TEST(RecoveryTest, InvalidArgumentsThrow) {
+  RecoveryParams p;
+  std::vector<double> acts(1, 1.0);
+  EXPECT_THROW(estimate_recovery_overhead(p, acts, 1e6, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_recovery_overhead(p, acts, 0, 10, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xentry
