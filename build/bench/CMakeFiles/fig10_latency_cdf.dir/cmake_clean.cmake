@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_latency_cdf.dir/fig10_latency_cdf.cpp.o"
+  "CMakeFiles/fig10_latency_cdf.dir/fig10_latency_cdf.cpp.o.d"
+  "fig10_latency_cdf"
+  "fig10_latency_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_latency_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

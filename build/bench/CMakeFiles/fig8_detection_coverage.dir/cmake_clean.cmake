@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_detection_coverage.dir/fig8_detection_coverage.cpp.o"
+  "CMakeFiles/fig8_detection_coverage.dir/fig8_detection_coverage.cpp.o.d"
+  "fig8_detection_coverage"
+  "fig8_detection_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_detection_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

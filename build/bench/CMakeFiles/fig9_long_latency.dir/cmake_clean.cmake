@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_long_latency.dir/fig9_long_latency.cpp.o"
+  "CMakeFiles/fig9_long_latency.dir/fig9_long_latency.cpp.o.d"
+  "fig9_long_latency"
+  "fig9_long_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_long_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_detector.cpp" "bench/CMakeFiles/micro_detector.dir/micro_detector.cpp.o" "gcc" "bench/CMakeFiles/micro_detector.dir/micro_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/xentry_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xentry_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/xentry/CMakeFiles/xentry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xentry_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xentry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/xentry_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_detector.dir/micro_detector.cpp.o"
+  "CMakeFiles/micro_detector.dir/micro_detector.cpp.o.d"
+  "micro_detector"
+  "micro_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

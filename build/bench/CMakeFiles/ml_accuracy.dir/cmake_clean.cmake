@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_accuracy.dir/ml_accuracy.cpp.o"
+  "CMakeFiles/ml_accuracy.dir/ml_accuracy.cpp.o.d"
+  "ml_accuracy"
+  "ml_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

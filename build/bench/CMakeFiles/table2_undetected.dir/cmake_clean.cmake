@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_undetected.dir/table2_undetected.cpp.o"
+  "CMakeFiles/table2_undetected.dir/table2_undetected.cpp.o.d"
+  "table2_undetected"
+  "table2_undetected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_undetected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

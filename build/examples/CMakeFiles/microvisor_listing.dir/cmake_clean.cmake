@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microvisor_listing.dir/microvisor_listing.cpp.o"
+  "CMakeFiles/microvisor_listing.dir/microvisor_listing.cpp.o.d"
+  "microvisor_listing"
+  "microvisor_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microvisor_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xentry_fault.dir/campaign.cpp.o"
+  "CMakeFiles/xentry_fault.dir/campaign.cpp.o.d"
+  "CMakeFiles/xentry_fault.dir/experiment.cpp.o"
+  "CMakeFiles/xentry_fault.dir/experiment.cpp.o.d"
+  "CMakeFiles/xentry_fault.dir/outcome.cpp.o"
+  "CMakeFiles/xentry_fault.dir/outcome.cpp.o.d"
+  "CMakeFiles/xentry_fault.dir/report.cpp.o"
+  "CMakeFiles/xentry_fault.dir/report.cpp.o.d"
+  "CMakeFiles/xentry_fault.dir/stats.cpp.o"
+  "CMakeFiles/xentry_fault.dir/stats.cpp.o.d"
+  "CMakeFiles/xentry_fault.dir/training.cpp.o"
+  "CMakeFiles/xentry_fault.dir/training.cpp.o.d"
+  "libxentry_fault.a"
+  "libxentry_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xentry_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

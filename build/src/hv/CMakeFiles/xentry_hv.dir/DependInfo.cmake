@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/exit_reason.cpp" "src/hv/CMakeFiles/xentry_hv.dir/exit_reason.cpp.o" "gcc" "src/hv/CMakeFiles/xentry_hv.dir/exit_reason.cpp.o.d"
+  "/root/repo/src/hv/layout.cpp" "src/hv/CMakeFiles/xentry_hv.dir/layout.cpp.o" "gcc" "src/hv/CMakeFiles/xentry_hv.dir/layout.cpp.o.d"
+  "/root/repo/src/hv/machine.cpp" "src/hv/CMakeFiles/xentry_hv.dir/machine.cpp.o" "gcc" "src/hv/CMakeFiles/xentry_hv.dir/machine.cpp.o.d"
+  "/root/repo/src/hv/microvisor.cpp" "src/hv/CMakeFiles/xentry_hv.dir/microvisor.cpp.o" "gcc" "src/hv/CMakeFiles/xentry_hv.dir/microvisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xentry_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

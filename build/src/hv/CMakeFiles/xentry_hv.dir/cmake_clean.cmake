@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xentry_hv.dir/exit_reason.cpp.o"
+  "CMakeFiles/xentry_hv.dir/exit_reason.cpp.o.d"
+  "CMakeFiles/xentry_hv.dir/layout.cpp.o"
+  "CMakeFiles/xentry_hv.dir/layout.cpp.o.d"
+  "CMakeFiles/xentry_hv.dir/machine.cpp.o"
+  "CMakeFiles/xentry_hv.dir/machine.cpp.o.d"
+  "CMakeFiles/xentry_hv.dir/microvisor.cpp.o"
+  "CMakeFiles/xentry_hv.dir/microvisor.cpp.o.d"
+  "libxentry_hv.a"
+  "libxentry_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xentry_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

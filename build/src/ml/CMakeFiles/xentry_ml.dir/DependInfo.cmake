@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/xentry_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/xentry_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/xentry_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/xentry_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/entropy.cpp" "src/ml/CMakeFiles/xentry_ml.dir/entropy.cpp.o" "gcc" "src/ml/CMakeFiles/xentry_ml.dir/entropy.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/xentry_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/xentry_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/xentry_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/xentry_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/rules.cpp" "src/ml/CMakeFiles/xentry_ml.dir/rules.cpp.o" "gcc" "src/ml/CMakeFiles/xentry_ml.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

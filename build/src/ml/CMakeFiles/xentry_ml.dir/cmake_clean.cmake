@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xentry_ml.dir/dataset.cpp.o"
+  "CMakeFiles/xentry_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/xentry_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/xentry_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/xentry_ml.dir/entropy.cpp.o"
+  "CMakeFiles/xentry_ml.dir/entropy.cpp.o.d"
+  "CMakeFiles/xentry_ml.dir/forest.cpp.o"
+  "CMakeFiles/xentry_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/xentry_ml.dir/metrics.cpp.o"
+  "CMakeFiles/xentry_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/xentry_ml.dir/rules.cpp.o"
+  "CMakeFiles/xentry_ml.dir/rules.cpp.o.d"
+  "libxentry_ml.a"
+  "libxentry_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xentry_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assembler.cpp" "src/sim/CMakeFiles/xentry_sim.dir/assembler.cpp.o" "gcc" "src/sim/CMakeFiles/xentry_sim.dir/assembler.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/xentry_sim.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/xentry_sim.dir/cpu.cpp.o.d"
+  "/root/repo/src/sim/isa.cpp" "src/sim/CMakeFiles/xentry_sim.dir/isa.cpp.o" "gcc" "src/sim/CMakeFiles/xentry_sim.dir/isa.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/xentry_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/xentry_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/program.cpp" "src/sim/CMakeFiles/xentry_sim.dir/program.cpp.o" "gcc" "src/sim/CMakeFiles/xentry_sim.dir/program.cpp.o.d"
+  "/root/repo/src/sim/verifier.cpp" "src/sim/CMakeFiles/xentry_sim.dir/verifier.cpp.o" "gcc" "src/sim/CMakeFiles/xentry_sim.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xentry_sim.dir/assembler.cpp.o"
+  "CMakeFiles/xentry_sim.dir/assembler.cpp.o.d"
+  "CMakeFiles/xentry_sim.dir/cpu.cpp.o"
+  "CMakeFiles/xentry_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/xentry_sim.dir/isa.cpp.o"
+  "CMakeFiles/xentry_sim.dir/isa.cpp.o.d"
+  "CMakeFiles/xentry_sim.dir/memory.cpp.o"
+  "CMakeFiles/xentry_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/xentry_sim.dir/program.cpp.o"
+  "CMakeFiles/xentry_sim.dir/program.cpp.o.d"
+  "CMakeFiles/xentry_sim.dir/verifier.cpp.o"
+  "CMakeFiles/xentry_sim.dir/verifier.cpp.o.d"
+  "libxentry_sim.a"
+  "libxentry_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xentry_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xentry_workloads.dir/workload.cpp.o"
+  "CMakeFiles/xentry_workloads.dir/workload.cpp.o.d"
+  "libxentry_workloads.a"
+  "libxentry_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xentry_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xentry/assertions.cpp" "src/xentry/CMakeFiles/xentry_core.dir/assertions.cpp.o" "gcc" "src/xentry/CMakeFiles/xentry_core.dir/assertions.cpp.o.d"
+  "/root/repo/src/xentry/cost_model.cpp" "src/xentry/CMakeFiles/xentry_core.dir/cost_model.cpp.o" "gcc" "src/xentry/CMakeFiles/xentry_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/xentry/exception_parser.cpp" "src/xentry/CMakeFiles/xentry_core.dir/exception_parser.cpp.o" "gcc" "src/xentry/CMakeFiles/xentry_core.dir/exception_parser.cpp.o.d"
+  "/root/repo/src/xentry/features.cpp" "src/xentry/CMakeFiles/xentry_core.dir/features.cpp.o" "gcc" "src/xentry/CMakeFiles/xentry_core.dir/features.cpp.o.d"
+  "/root/repo/src/xentry/framework.cpp" "src/xentry/CMakeFiles/xentry_core.dir/framework.cpp.o" "gcc" "src/xentry/CMakeFiles/xentry_core.dir/framework.cpp.o.d"
+  "/root/repo/src/xentry/recovery.cpp" "src/xentry/CMakeFiles/xentry_core.dir/recovery.cpp.o" "gcc" "src/xentry/CMakeFiles/xentry_core.dir/recovery.cpp.o.d"
+  "/root/repo/src/xentry/recovery_engine.cpp" "src/xentry/CMakeFiles/xentry_core.dir/recovery_engine.cpp.o" "gcc" "src/xentry/CMakeFiles/xentry_core.dir/recovery_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/xentry_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/xentry_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xentry_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xentry_core.dir/assertions.cpp.o"
+  "CMakeFiles/xentry_core.dir/assertions.cpp.o.d"
+  "CMakeFiles/xentry_core.dir/cost_model.cpp.o"
+  "CMakeFiles/xentry_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/xentry_core.dir/exception_parser.cpp.o"
+  "CMakeFiles/xentry_core.dir/exception_parser.cpp.o.d"
+  "CMakeFiles/xentry_core.dir/features.cpp.o"
+  "CMakeFiles/xentry_core.dir/features.cpp.o.d"
+  "CMakeFiles/xentry_core.dir/framework.cpp.o"
+  "CMakeFiles/xentry_core.dir/framework.cpp.o.d"
+  "CMakeFiles/xentry_core.dir/recovery.cpp.o"
+  "CMakeFiles/xentry_core.dir/recovery.cpp.o.d"
+  "CMakeFiles/xentry_core.dir/recovery_engine.cpp.o"
+  "CMakeFiles/xentry_core.dir/recovery_engine.cpp.o.d"
+  "libxentry_core.a"
+  "libxentry_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xentry_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

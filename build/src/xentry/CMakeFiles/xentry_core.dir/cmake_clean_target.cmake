@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxentry_core.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xentry_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault.dir/fault/campaign_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/campaign_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/experiment_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/experiment_test.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/report_test.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/report_test.cpp.o.d"
+  "test_fault"
+  "test_fault.pdb"
+  "test_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

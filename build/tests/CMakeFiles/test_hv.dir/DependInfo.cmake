@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hv/exception_semantics_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/exception_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/exception_semantics_test.cpp.o.d"
+  "/root/repo/tests/hv/hypercall_semantics_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/hypercall_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/hypercall_semantics_test.cpp.o.d"
+  "/root/repo/tests/hv/machine_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/machine_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/machine_test.cpp.o.d"
+  "/root/repo/tests/hv/microvisor_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/microvisor_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/microvisor_test.cpp.o.d"
+  "/root/repo/tests/hv/verifier_microvisor_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/verifier_microvisor_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/verifier_microvisor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/xentry_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xentry_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

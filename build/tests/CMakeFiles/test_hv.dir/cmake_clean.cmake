@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hv.dir/hv/exception_semantics_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/exception_semantics_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/hypercall_semantics_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/hypercall_semantics_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/machine_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/machine_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/microvisor_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/microvisor_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/verifier_microvisor_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/verifier_microvisor_test.cpp.o.d"
+  "test_hv"
+  "test_hv.pdb"
+  "test_hv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

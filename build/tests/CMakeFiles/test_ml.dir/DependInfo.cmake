@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/decision_tree_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/decision_tree_test.cpp.o.d"
+  "/root/repo/tests/ml/entropy_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/entropy_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/entropy_test.cpp.o.d"
+  "/root/repo/tests/ml/forest_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/forest_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/forest_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/pruning_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/pruning_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/pruning_test.cpp.o.d"
+  "/root/repo/tests/ml/rules_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/rules_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/rules_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/xentry_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/decision_tree_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/decision_tree_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/entropy_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/entropy_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/forest_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/forest_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/pruning_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/pruning_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/rules_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/rules_test.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

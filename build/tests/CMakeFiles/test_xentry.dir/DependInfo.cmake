@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xentry/assertions_test.cpp" "tests/CMakeFiles/test_xentry.dir/xentry/assertions_test.cpp.o" "gcc" "tests/CMakeFiles/test_xentry.dir/xentry/assertions_test.cpp.o.d"
+  "/root/repo/tests/xentry/cost_model_test.cpp" "tests/CMakeFiles/test_xentry.dir/xentry/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_xentry.dir/xentry/cost_model_test.cpp.o.d"
+  "/root/repo/tests/xentry/countermeasures_test.cpp" "tests/CMakeFiles/test_xentry.dir/xentry/countermeasures_test.cpp.o" "gcc" "tests/CMakeFiles/test_xentry.dir/xentry/countermeasures_test.cpp.o.d"
+  "/root/repo/tests/xentry/exception_parser_test.cpp" "tests/CMakeFiles/test_xentry.dir/xentry/exception_parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_xentry.dir/xentry/exception_parser_test.cpp.o.d"
+  "/root/repo/tests/xentry/features_test.cpp" "tests/CMakeFiles/test_xentry.dir/xentry/features_test.cpp.o" "gcc" "tests/CMakeFiles/test_xentry.dir/xentry/features_test.cpp.o.d"
+  "/root/repo/tests/xentry/framework_test.cpp" "tests/CMakeFiles/test_xentry.dir/xentry/framework_test.cpp.o" "gcc" "tests/CMakeFiles/test_xentry.dir/xentry/framework_test.cpp.o.d"
+  "/root/repo/tests/xentry/recovery_engine_test.cpp" "tests/CMakeFiles/test_xentry.dir/xentry/recovery_engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_xentry.dir/xentry/recovery_engine_test.cpp.o.d"
+  "/root/repo/tests/xentry/recovery_test.cpp" "tests/CMakeFiles/test_xentry.dir/xentry/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/test_xentry.dir/xentry/recovery_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xentry/CMakeFiles/xentry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/xentry_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/xentry_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xentry_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xentry_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xentry_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xentry.dir/xentry/assertions_test.cpp.o"
+  "CMakeFiles/test_xentry.dir/xentry/assertions_test.cpp.o.d"
+  "CMakeFiles/test_xentry.dir/xentry/cost_model_test.cpp.o"
+  "CMakeFiles/test_xentry.dir/xentry/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_xentry.dir/xentry/countermeasures_test.cpp.o"
+  "CMakeFiles/test_xentry.dir/xentry/countermeasures_test.cpp.o.d"
+  "CMakeFiles/test_xentry.dir/xentry/exception_parser_test.cpp.o"
+  "CMakeFiles/test_xentry.dir/xentry/exception_parser_test.cpp.o.d"
+  "CMakeFiles/test_xentry.dir/xentry/features_test.cpp.o"
+  "CMakeFiles/test_xentry.dir/xentry/features_test.cpp.o.d"
+  "CMakeFiles/test_xentry.dir/xentry/framework_test.cpp.o"
+  "CMakeFiles/test_xentry.dir/xentry/framework_test.cpp.o.d"
+  "CMakeFiles/test_xentry.dir/xentry/recovery_engine_test.cpp.o"
+  "CMakeFiles/test_xentry.dir/xentry/recovery_engine_test.cpp.o.d"
+  "CMakeFiles/test_xentry.dir/xentry/recovery_test.cpp.o"
+  "CMakeFiles/test_xentry.dir/xentry/recovery_test.cpp.o.d"
+  "test_xentry"
+  "test_xentry.pdb"
+  "test_xentry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xentry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
