@@ -1,0 +1,137 @@
+// End-to-end campaign throughput benchmark (no google-benchmark
+// dependency: one shot, wall-clock timed, JSON out).
+//
+// The paper's headline experiment is a 30,000-injection campaign; the
+// injections/sec of `run_campaign` bounds every study we can afford.
+// This bench tracks the three layers the hot path is built from:
+//   - campaign:  end-to-end injections/sec through run_campaign
+//   - golden:    raw simulator throughput (steps/sec) of clean activations
+//   - snapshot:  machine snapshot+restore round-trips/sec (the sync cost
+//                paid between golden and faulty machines per injection)
+//
+// Output is a single JSON object, suitable for seeding a BENCH_*.json
+// trajectory.  Usage:  micro_campaign [injections] [shards] [seed]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fault/campaign.hpp"
+#include "fault/stats.hpp"
+#include "hv/machine.hpp"
+
+namespace {
+
+using namespace xentry;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct CampaignScore {
+  double elapsed = 0;
+  std::size_t records = 0;
+  std::size_t manifested = 0;
+  std::size_t detected = 0;
+};
+
+CampaignScore time_campaign(int injections, int shards, std::uint64_t seed) {
+  fault::CampaignConfig cfg;
+  cfg.injections = injections;
+  cfg.shards = shards;
+  cfg.seed = seed;
+  cfg.collect_dataset = true;
+  const auto t0 = Clock::now();
+  const fault::CampaignResult res = fault::run_campaign(cfg);
+  CampaignScore score;
+  score.elapsed = seconds_since(t0);
+  score.records = res.records.size();
+  for (const auto& r : res.records) {
+    score.manifested += fault::is_manifested(r.consequence);
+    score.detected += r.detected;
+  }
+  return score;
+}
+
+struct GoldenScore {
+  double elapsed = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t runs = 0;
+};
+
+GoldenScore time_golden(double budget_sec) {
+  hv::Machine m;
+  const auto act = m.make_activation(
+      hv::ExitReason::hypercall(hv::Hypercall::mmu_update), 7);
+  GoldenScore score;
+  const auto t0 = Clock::now();
+  do {
+    for (int i = 0; i < 64; ++i) {
+      const hv::RunResult res = m.run(act);
+      score.steps += res.steps;
+      ++score.runs;
+    }
+    score.elapsed = seconds_since(t0);
+  } while (score.elapsed < budget_sec);
+  return score;
+}
+
+struct SnapshotScore {
+  double elapsed = 0;
+  std::uint64_t round_trips = 0;
+};
+
+SnapshotScore time_snapshot(double budget_sec) {
+  // The campaign sync pattern: golden advances, faulty is re-aligned.
+  hv::Machine golden, faulty;
+  const auto act = golden.make_activation(
+      hv::ExitReason::hypercall(hv::Hypercall::grant_table_op), 3);
+  SnapshotScore score;
+  const auto t0 = Clock::now();
+  do {
+    for (int i = 0; i < 64; ++i) {
+      golden.run(act);
+      faulty.restore(golden.snapshot());
+      ++score.round_trips;
+    }
+    score.elapsed = seconds_since(t0);
+  } while (score.elapsed < budget_sec);
+  return score;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int injections = argc > 1 ? std::atoi(argv[1]) : 2000;
+  const int shards = argc > 2 ? std::atoi(argv[2]) : 1;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  const CampaignScore campaign = time_campaign(injections, shards, seed);
+  const GoldenScore golden = time_golden(1.0);
+  const SnapshotScore snap = time_snapshot(1.0);
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"micro_campaign\",\n"
+      "  \"injections\": %d,\n"
+      "  \"shards\": %d,\n"
+      "  \"seed\": %llu,\n"
+      "  \"records\": %zu,\n"
+      "  \"manifested\": %zu,\n"
+      "  \"detected\": %zu,\n"
+      "  \"campaign_elapsed_sec\": %.4f,\n"
+      "  \"injections_per_sec\": %.1f,\n"
+      "  \"golden_steps_per_sec\": %.0f,\n"
+      "  \"golden_runs_per_sec\": %.0f,\n"
+      "  \"snapshot_round_trips_per_sec\": %.0f\n"
+      "}\n",
+      injections, shards, static_cast<unsigned long long>(seed),
+      campaign.records, campaign.manifested, campaign.detected,
+      campaign.elapsed,
+      static_cast<double>(campaign.records) / campaign.elapsed,
+      static_cast<double>(golden.steps) / golden.elapsed,
+      static_cast<double>(golden.runs) / golden.elapsed,
+      static_cast<double>(snap.round_trips) / snap.elapsed);
+  return 0;
+}

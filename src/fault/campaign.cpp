@@ -43,18 +43,24 @@ CampaignResult run_shard(const CampaignConfig& cfg, int shard_index,
     experiment.advance(gen.next());
   }
 
+  std::bernoulli_distribution biased(cfg.activation_bias);
+  InjectionExperiment::GoldenProbe probe;  // buffers reused every injection
   for (int i = 0; i < quota; ++i) {
     const hv::Activation act = gen.next();
-    const InjectionExperiment::GoldenProbe probe =
-        experiment.probe_golden(act);
-    if (probe.steps == 0) continue;  // degenerate activation; skip
-    std::bernoulli_distribution biased(cfg.activation_bias);
+    // The probe run doubles as the experiment's golden run: the golden
+    // machine advances to its post-run state here and run_one only has to
+    // execute the faulted machine.
+    experiment.probe_golden_advance(act, probe);
+    if (probe.steps == 0) {
+      golden.restore(probe.pre);  // degenerate activation; rewind and skip
+      continue;
+    }
     const hv::Injection inj =
         biased(rng)
             ? InjectionExperiment::draw_activated_injection(
                   rng, probe.trace, golden.microvisor().program)
             : InjectionExperiment::draw_injection(rng, probe.steps);
-    InjectionExperiment::Result r = experiment.run_one(act, inj);
+    InjectionExperiment::Result r = experiment.run_one(act, inj, probe);
     if (cfg.collect_dataset) {
       result.dataset.add(r.golden_features.as_array(), ml::Label::Correct);
       if (r.record.activated && r.record.trap == sim::TrapKind::None &&

@@ -34,38 +34,53 @@ hv::Injection InjectionExperiment::draw_injection(
 
 void InjectionExperiment::advance(const hv::Activation& activation) {
   golden_.run(activation);
-  faulty_.restore(golden_.snapshot());
+  golden_.snapshot_into(sync_snap_);
+  faulty_.restore(sync_snap_);
 }
 
 std::uint64_t InjectionExperiment::measure_golden_steps(
     const hv::Activation& activation) {
-  const hv::Machine::Snapshot snap = golden_.snapshot();
+  golden_.snapshot_into(sync_snap_);
   const hv::RunResult res = golden_.run(activation);
-  golden_.restore(snap);
+  golden_.restore(sync_snap_);
   return res.steps;
 }
 
 InjectionExperiment::GoldenProbe InjectionExperiment::probe_golden(
     const hv::Activation& activation) {
   GoldenProbe probe;
-  const hv::Machine::Snapshot snap = golden_.snapshot();
+  probe_golden_advance(activation, probe);
+  golden_.restore(probe.pre);
+  return probe;
+}
+
+void InjectionExperiment::probe_golden_advance(
+    const hv::Activation& activation, GoldenProbe& probe) {
+  golden_.snapshot_into(probe.pre);
+  probe.trace.clear();
   hv::RunOptions opts;
   opts.trace = &probe.trace;
   const hv::RunResult res = golden_.run(activation, opts);
   probe.steps = res.steps;
-  golden_.restore(snap);
-  return probe;
+  probe.counters = res.counters;
+  probe.reached_vm_entry = res.reached_vm_entry;
 }
 
 hv::Injection InjectionExperiment::draw_activated_injection(
     std::mt19937_64& rng, const std::vector<sim::Addr>& golden_trace,
     const sim::Program& program) {
   hv::Injection inj;
-  std::uniform_int_distribution<std::uint64_t> step(
-      0, golden_trace.empty() ? 0 : golden_trace.size() - 1);
   std::uniform_int_distribution<int> bit(0, sim::kBitsPerReg - 1);
   inj.bit = bit(rng);
-  if (golden_trace.empty()) return inj;
+  if (golden_trace.empty()) {
+    // No trace to bias towards: fall back to a uniform register draw so
+    // the injection is still well-formed (not default-initialized).
+    std::uniform_int_distribution<int> reg(0, sim::kNumArchRegs - 1);
+    inj.reg = static_cast<sim::Reg>(reg(rng));
+    return inj;
+  }
+  std::uniform_int_distribution<std::uint64_t> step(
+      0, golden_trace.size() - 1);
   inj.at_step = step(rng);
   const sim::Instruction& insn = program.at(golden_trace[inj.at_step]);
   // Candidate registers: whatever the instruction reads, plus rip (whose
@@ -82,6 +97,20 @@ hv::Injection InjectionExperiment::draw_activated_injection(
 
 InjectionExperiment::Result InjectionExperiment::run_one(
     const hv::Activation& activation, const hv::Injection& injection) {
+  // Two-run convenience path: execute the golden run here, then reuse it.
+  probe_golden_advance(activation, scratch_probe_);
+  return run_faulted(activation, injection, scratch_probe_);
+}
+
+InjectionExperiment::Result InjectionExperiment::run_one(
+    const hv::Activation& activation, const hv::Injection& injection,
+    const GoldenProbe& probe) {
+  return run_faulted(activation, injection, probe);
+}
+
+InjectionExperiment::Result InjectionExperiment::run_faulted(
+    const hv::Activation& activation, const hv::Injection& injection,
+    const GoldenProbe& probe) {
   Result out;
   InjectionRecord& rec = out.record;
   rec.reason = activation.reason;
@@ -89,24 +118,18 @@ InjectionExperiment::Result InjectionExperiment::run_one(
   rec.vcpu = activation.vcpu;
   rec.injection = injection;
 
-  // Align the faulted machine with the golden machine's pre-run state.
-  const hv::Machine::Snapshot pre = golden_.snapshot();
-  faulty_.restore(pre);
-
-  // Golden run (with trace).
-  std::vector<sim::Addr> golden_trace;
-  hv::RunOptions gopts;
-  gopts.trace = &golden_trace;
-  const hv::RunResult gres = golden_.run(activation, gopts);
-  out.golden_ok = gres.reached_vm_entry;
+  // The golden run already happened (probe); the golden machine sits at
+  // its post-run state.  Align the faulted machine with the pre-run state.
+  faulty_.restore(probe.pre);
+  out.golden_ok = probe.reached_vm_entry;
   out.golden_features =
-      FeatureVector::from(activation.reason, gres.counters);
-  last_golden_steps_ = gres.steps;
+      FeatureVector::from(activation.reason, probe.counters);
+  last_golden_steps_ = probe.steps;
 
   // Faulted run under Xentry interception.
-  std::vector<sim::Addr> fault_trace;
+  fault_trace_.clear();
   hv::RunOptions fopts;
-  fopts.trace = &fault_trace;
+  fopts.trace = &fault_trace_;
   fopts.injection = &injection;
   const Observation obs = xentry_.observe(faulty_, activation, fopts);
 
@@ -115,7 +138,7 @@ InjectionExperiment::Result InjectionExperiment::run_one(
   rec.features = obs.features;
   rec.trap = obs.run.trap.kind;
   rec.assert_id = obs.run.trap.aux;
-  rec.trace_diverged = fault_trace != golden_trace;
+  rec.trace_diverged = fault_trace_ != probe.trace;
 
   if (!rec.activated) {
     // Non-activated faults never affect correctness (Section V-B).
@@ -135,7 +158,7 @@ InjectionExperiment::Result InjectionExperiment::run_one(
     rec.undetected = UndetectedClass::NotApplicable;
     if (rec.consequence != Consequence::Masked) {
       // Fill in the would-be escape class now; cleared below if detected.
-      rec.undetected = classify_undetected(rec, diffs, fault_trace);
+      rec.undetected = classify_undetected(rec, diffs, fault_trace_);
     }
   }
 

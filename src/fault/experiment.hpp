@@ -72,11 +72,34 @@ class InjectionExperiment {
     bool golden_ok = false;  ///< golden run reached VM entry (sanity)
   };
 
+  /// Everything one clean execution of an activation yields: dynamic
+  /// length, control-flow trace, the Table I counters, whether VM entry
+  /// was reached — and the pre-run machine state, so the faulted machine
+  /// can be aligned without re-executing the golden run.
+  struct GoldenProbe {
+    std::uint64_t steps = 0;
+    std::vector<sim::Addr> trace;
+    sim::PerfSnapshot counters;
+    bool reached_vm_entry = false;
+    /// Golden machine state immediately before the run (buffers are
+    /// reused across probes of the same machine).
+    hv::Machine::Snapshot pre;
+  };
+
   /// Runs one experiment.  Both machines start from the golden machine's
   /// current state and end in their respective post-run states, so a
   /// stream of calls naturally advances along the golden path.
   Result run_one(const hv::Activation& activation,
                  const hv::Injection& injection);
+
+  /// Golden-run-reuse fast path: runs only the faulted machine, taking the
+  /// golden run's trace/counters/steps from `probe` (which must come from
+  /// probe_golden_advance with the same activation — its run IS this
+  /// experiment's golden run, and the golden machine is already at its
+  /// post-run state).  Halves golden executions per injection versus
+  /// probe_golden + run_one, with bit-identical results.
+  Result run_one(const hv::Activation& activation,
+                 const hv::Injection& injection, const GoldenProbe& probe);
 
   /// Runs the activation fault-free on both machines (keeps them in
   /// lock-step between experiments).
@@ -90,14 +113,22 @@ class InjectionExperiment {
   std::uint64_t measure_golden_steps(const hv::Activation& activation);
 
   /// Like measure_golden_steps but also captures the control-flow trace
-  /// (for activated-biased injection draws).
-  struct GoldenProbe {
-    std::uint64_t steps = 0;
-    std::vector<sim::Addr> trace;
-  };
+  /// (for activated-biased injection draws).  Restores the golden machine
+  /// to its pre-run state afterwards.
   GoldenProbe probe_golden(const hv::Activation& activation);
 
+  /// Campaign fast path: like probe_golden, but the golden machine is
+  /// LEFT AT ITS POST-RUN STATE (the probe run is the golden run) and
+  /// `probe`'s buffers are reused.  Pair with run_one(act, inj, probe);
+  /// to abandon the probe instead (e.g. a degenerate zero-step
+  /// activation), rewind with `machine.restore(probe.pre)`.
+  void probe_golden_advance(const hv::Activation& activation,
+                            GoldenProbe& probe);
+
  private:
+  Result run_faulted(const hv::Activation& activation,
+                     const hv::Injection& injection,
+                     const GoldenProbe& probe);
   std::vector<hv::StateDiff> consumed_diffs(
       const std::vector<hv::StateDiff>& diffs, const hv::Activation& act,
       const hv::Injection& inj) const;
@@ -112,6 +143,12 @@ class InjectionExperiment {
   Xentry& xentry_;
   OutcomeModel model_;
   std::uint64_t last_golden_steps_ = 0;
+
+  // Scratch buffers reused across injections (allocation hygiene: the
+  // campaign loop must not reallocate traces/snapshots per run).
+  GoldenProbe scratch_probe_;          ///< for the two-run run_one overload
+  hv::Machine::Snapshot sync_snap_;    ///< for advance()/measure_golden_steps
+  std::vector<sim::Addr> fault_trace_; ///< faulted run's control-flow trace
 };
 
 }  // namespace xentry::fault

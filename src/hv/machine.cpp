@@ -18,6 +18,19 @@ Machine::Machine(const MicrovisorOptions& options)
     : mv_(build_microvisor(options)), cpu_(&mv_.program, &mem_) {
   map_regions();
   init_boot_state();
+  for (const ExitReason& r : all_exit_reasons()) {
+    const std::size_t code = static_cast<std::size_t>(r.code());
+    if (entry_cache_.size() <= code) entry_cache_.resize(code + 1, 0);
+    entry_cache_[code] = mv_.entry(r);
+  }
+}
+
+sim::Addr Machine::handler_entry(const ExitReason& reason) const {
+  const std::size_t code = static_cast<std::size_t>(reason.code());
+  if (code < entry_cache_.size() && entry_cache_[code] != 0) {
+    return entry_cache_[code];
+  }
+  return mv_.entry(reason);
 }
 
 void Machine::map_regions() {
@@ -408,7 +421,7 @@ RunResult Machine::run(const Activation& act, const RunOptions& opts) {
   prepare_inputs(act);
 
   // Register file at handler entry.
-  cpu_.reset(mv_.entry(act.reason), L::kStackTop);
+  cpu_.reset(handler_entry(act.reason), L::kStackTop);
   cpu_.set_reg(Reg::rbp, L::kHvDataBase);
   cpu_.set_reg(Reg::r8, vc);
   cpu_.set_reg(Reg::r9, L::domain_addr(domain_of_vcpu(act.vcpu)));
@@ -430,6 +443,9 @@ RunResult Machine::run(const Activation& act, const RunOptions& opts) {
 
   RunResult result;
   const Injection* inj = opts.injection;
+  // Register read/write masks are only consumed while watching an
+  // injection for activation; skip computing them on clean runs.
+  cpu_.set_mask_tracking(inj != nullptr);
   const bool stepwise =
       inj != nullptr || opts.count_assertions || opts.trace != nullptr;
 
@@ -501,11 +517,19 @@ RunResult Machine::run(const Activation& act, const RunOptions& opts) {
   result.counters = opts.arm_counters ? cpu_.counters().disarm()
                                       : sim::PerfSnapshot{};
   cpu_.set_trace(nullptr);
+  cpu_.set_mask_tracking(true);
   return result;
 }
 
 Machine::Snapshot Machine::snapshot() const {
-  return Snapshot{mem_.snapshot(), cpu_.tsc()};
+  Snapshot snap;
+  snapshot_into(snap);
+  return snap;
+}
+
+void Machine::snapshot_into(Snapshot& out) const {
+  mem_.snapshot_into(out.memory);
+  out.tsc = cpu_.tsc();
 }
 
 void Machine::restore(const Snapshot& snap) {
@@ -524,6 +548,7 @@ std::vector<StateDiff> Machine::diff_persistent_state(const Machine& golden,
   const int vpd = golden.mv_.options.vcpus_per_domain;
   for (std::size_t r = 0; r < gr.size(); ++r) {
     if (gr[r].name == "stack") continue;  // scratch, not persistent state
+    if (gr[r].data == fr[r].data) continue;  // memcmp gate: no diffs here
     for (Addr off = 0; off < gr[r].size; ++off) {
       const Word g = gr[r].data[off];
       const Word f = fr[r].data[off];

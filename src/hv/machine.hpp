@@ -96,10 +96,14 @@ class Machine {
   // -- state management --------------------------------------------------------
 
   struct Snapshot {
-    std::vector<std::vector<sim::Word>> memory;
+    sim::Memory::Snapshot memory;
     sim::Word tsc = 0;
   };
   Snapshot snapshot() const;
+  /// Like snapshot(), but reuses `out`'s buffers; regions unchanged since
+  /// the last capture into `out` are skipped (see Memory::snapshot_into).
+  /// The campaign hot path re-captures one Snapshot per injection.
+  void snapshot_into(Snapshot& out) const;
   void restore(const Snapshot& snap);
 
   /// Compares the persistent (guest-visible or hypervisor-retained) state
@@ -126,10 +130,14 @@ class Machine {
   void map_regions();
   void init_boot_state();
   void prepare_inputs(const Activation& activation);
+  sim::Addr handler_entry(const ExitReason& reason) const;
 
   Microvisor mv_;
   sim::Memory mem_;
   sim::Cpu cpu_;
+  /// Handler entry addresses indexed by ExitReason::code(): avoids the
+  /// per-activation string symbol lookup on the dispatch path.
+  std::vector<sim::Addr> entry_cache_;
 };
 
 }  // namespace xentry::hv

@@ -31,20 +31,23 @@ StepInfo Cpu::step() {
   const Addr rip = reg(Reg::rip);
   info.rip_before = rip;
 
-  if (!prog_->contains(rip)) {
+  const Instruction* fetched = prog_->fetch(rip);
+  if (fetched == nullptr) {
     info.status = StepInfo::Status::Trapped;
     info.trap = Trap{TrapKind::PageFault, rip, 0};
     return info;
   }
-  const Instruction& insn = prog_->at(rip);
+  const Instruction& insn = *fetched;
   if (insn.op == Opcode::Ud) {
     info.status = StepInfo::Status::Trapped;
     info.trap = Trap{TrapKind::InvalidOpcode, rip, 0};
     return info;
   }
 
-  info.read_mask = regs_read(insn);
-  info.written_mask = regs_written(insn);
+  if (track_masks_) {
+    info.read_mask = regs_read(insn);
+    info.written_mask = regs_written(insn);
+  }
 
   // Retire bookkeeping happens for every instruction that begins executing;
   // a mid-instruction memory fault still counts as issued work for the

@@ -79,6 +79,12 @@ class Cpu {
   /// used for golden-run comparison and ML labelling.
   void set_trace(std::vector<Addr>* trace) { trace_ = trace; }
 
+  /// Controls whether step() fills StepInfo::read_mask/written_mask.  The
+  /// masks are only consumed while watching a pending injection for
+  /// activation; clean (golden/advance) runs skip the two per-step
+  /// register-set computations.  Default on.
+  void set_mask_tracking(bool on) { track_masks_ = on; }
+
   Word tsc() const { return tsc_; }
   void set_tsc(Word v) { tsc_ = v; }
 
@@ -111,6 +117,7 @@ class Cpu {
   std::uint64_t steps_ = 0;
   std::int64_t shadow_offset_ = 0;
   bool shadow_enabled_ = false;
+  bool track_masks_ = true;
 };
 
 }  // namespace xentry::sim

@@ -1,11 +1,42 @@
 #include "sim/memory.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace xentry::sim {
+
+namespace {
+
+// Campaign shards construct Machines (and thus Memories) concurrently.
+std::uint64_t next_memory_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Memory::Memory() : id_(next_memory_id()) {}
+
+Memory::Memory(const Memory& other)
+    : regions_(other.regions_),
+      sync_(other.sync_),
+      id_(next_memory_id()),
+      hint_(other.hint_) {}
+
+Memory& Memory::operator=(const Memory& other) {
+  if (this != &other) {
+    regions_ = other.regions_;
+    sync_ = other.sync_;
+    hint_ = other.hint_;
+    // Fresh identity: snapshots captured from the old contents must not
+    // be mistaken for captures of the newly assigned contents.
+    id_ = next_memory_id();
+  }
+  return *this;
+}
 
 std::size_t Memory::map(Addr base, Addr size, Perm perm, std::string name) {
   if (size == 0) throw std::invalid_argument("Memory::map: empty region");
@@ -26,71 +57,118 @@ std::size_t Memory::map(Addr base, Addr size, Perm perm, std::string name) {
       regions_.begin(), regions_.end(), base,
       [](Addr b, const Region& r) { return b < r.base; });
   it = regions_.insert(it, std::move(region));
-  return static_cast<std::size_t>(it - regions_.begin());
+  const std::size_t idx = static_cast<std::size_t>(it - regions_.begin());
+  sync_.insert(sync_.begin() + static_cast<std::ptrdiff_t>(idx), SyncState{});
+  hint_ = idx;
+  return idx;
 }
 
 const Memory::Region* Memory::find(Addr a) const {
+  // Straight-line code hits the same region on almost every access; try
+  // the last-hit region before falling back to the binary search.
+  if (hint_ < regions_.size() && regions_[hint_].contains(a)) {
+    return &regions_[hint_];
+  }
   // Regions are sorted by base; find the last region with base <= a.
   auto it = std::upper_bound(
       regions_.begin(), regions_.end(), a,
       [](Addr x, const Region& r) { return x < r.base; });
   if (it == regions_.begin()) return nullptr;
   --it;
-  return it->contains(a) ? &*it : nullptr;
+  if (!it->contains(a)) return nullptr;
+  hint_ = static_cast<std::size_t>(it - regions_.begin());
+  return &*it;
 }
 
 Memory::Region* Memory::find(Addr a) {
   return const_cast<Region*>(static_cast<const Memory*>(this)->find(a));
 }
 
-Trap Memory::read(Addr a, Word& out) const {
+Trap Memory::read_slow(Addr a, Word& out) const {
   const Region* r = find(a);
   if (r == nullptr) return Trap{TrapKind::PageFault, a, 0};
   out = r->data[a - r->base];
   return {};
 }
 
-Trap Memory::write(Addr a, Word v) {
+Trap Memory::write_slow(Addr a, Word v) {
   Region* r = find(a);
   if (r == nullptr) return Trap{TrapKind::PageFault, a, 0};
   if (r->perm != Perm::ReadWrite) {
     return Trap{TrapKind::GeneralProtection, a, 0};
   }
   r->data[a - r->base] = v;
+  ++r->gen;
   return {};
 }
 
-Word Memory::peek(Addr a) const {
+Word Memory::peek_slow(Addr a) const {
   const Region* r = find(a);
   assert(r != nullptr && "peek of unmapped address");
   if (r == nullptr) std::abort();
   return r->data[a - r->base];
 }
 
-void Memory::poke(Addr a, Word v) {
+void Memory::poke_slow(Addr a, Word v) {
   Region* r = find(a);
   assert(r != nullptr && "poke of unmapped address");
   if (r == nullptr) std::abort();
   r->data[a - r->base] = v;
+  ++r->gen;
 }
 
-std::vector<std::vector<Word>> Memory::snapshot() const {
-  std::vector<std::vector<Word>> snap;
-  snap.reserve(regions_.size());
-  for (const Region& r : regions_) snap.push_back(r.data);
+Memory::Snapshot Memory::snapshot() const {
+  Snapshot snap;
+  snapshot_into(snap);
   return snap;
 }
 
-void Memory::restore(const std::vector<std::vector<Word>>& snap) {
-  assert(snap.size() == regions_.size());
+void Memory::snapshot_into(Snapshot& out) const {
+  const bool fresh =
+      out.source_id != id_ || out.regions.size() != regions_.size();
+  if (fresh) {
+    out.regions.clear();
+    out.regions.resize(regions_.size());
+  }
   for (std::size_t i = 0; i < regions_.size(); ++i) {
-    assert(snap[i].size() == regions_[i].data.size());
-    regions_[i].data = snap[i];
+    Snapshot::RegionImage& img = out.regions[i];
+    if (!fresh && img.gen == regions_[i].gen &&
+        img.data.size() == regions_[i].data.size()) {
+      continue;  // unchanged since the last capture into `out`
+    }
+    img.data = regions_[i].data;  // assign reuses existing capacity
+    img.gen = regions_[i].gen;
+  }
+  out.source_id = id_;
+}
+
+void Memory::restore(const Snapshot& snap) {
+  assert(snap.regions.size() == regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    Region& r = regions_[i];
+    SyncState& s = sync_[i];
+    assert(snap.regions[i].data.size() == r.data.size());
+    const bool in_sync = s.source_id != 0 &&
+                         s.source_id == snap.source_id &&
+                         s.source_gen == snap.regions[i].gen &&
+                         s.own_gen == r.gen;
+    if (!in_sync) {
+      // std::copy into the existing buffer: no reallocation.
+      std::copy(snap.regions[i].data.begin(), snap.regions[i].data.end(),
+                r.data.begin());
+      ++r.gen;
+    }
+    s.source_id = snap.source_id;
+    s.source_gen = snap.regions[i].gen;
+    s.own_gen = r.gen;
   }
 }
 
 void Memory::clear() {
-  for (Region& r : regions_) std::fill(r.data.begin(), r.data.end(), 0);
+  for (Region& r : regions_) {
+    std::fill(r.data.begin(), r.data.end(), 0);
+    ++r.gen;
+  }
 }
 
 }  // namespace xentry::sim

@@ -6,6 +6,15 @@
 // register usually lands far outside every region, which is exactly how
 // soft errors manifest as "fatal system corruptions" the paper's runtime
 // detection catches via hardware exceptions (Section III-A).
+//
+// Snapshot/restore is the fault-campaign hot path: every injection
+// round-trips machine state several times.  Two mechanisms keep that
+// cheap without changing observable contents:
+//   - every region carries a generation counter bumped on each mutation,
+//     so snapshot capture and restore can skip regions that provably have
+//     not changed since the last capture/sync (see Snapshot);
+//   - read/write cache the last-hit region index, since straight-line
+//     code touches the same region on almost every consecutive access.
 #pragma once
 
 #include <cstdint>
@@ -30,9 +39,44 @@ class Memory {
     Perm perm = Perm::ReadWrite;
     std::string name;
     std::vector<Word> data;
+    /// Mutation generation: bumped on every write/poke/restore-copy/clear.
+    /// Equal generations between two points in time prove the contents
+    /// did not change in between (the converse need not hold).
+    std::uint64_t gen = 0;
 
     bool contains(Addr a) const { return a >= base && a - base < size; }
   };
+
+  /// A copy of all region contents, tagged with the source Memory's
+  /// identity and per-region generations so a later restore (or
+  /// re-capture via snapshot_into) can prove which regions are already
+  /// up to date and skip them.  Equality compares contents only.
+  struct Snapshot {
+    struct RegionImage {
+      std::vector<Word> data;
+      std::uint64_t gen = 0;
+    };
+    std::uint64_t source_id = 0;  ///< Memory instance captured from (0: none)
+    std::vector<RegionImage> regions;
+
+    bool empty() const { return regions.empty(); }
+    friend bool operator==(const Snapshot& a, const Snapshot& b) {
+      if (a.regions.size() != b.regions.size()) return false;
+      for (std::size_t i = 0; i < a.regions.size(); ++i) {
+        if (a.regions[i].data != b.regions[i].data) return false;
+      }
+      return true;
+    }
+  };
+
+  Memory();
+  /// Copies share contents but get a fresh identity: snapshots taken from
+  /// the copy must never be mistaken for snapshots of the original once
+  /// the two diverge.
+  Memory(const Memory& other);
+  Memory& operator=(const Memory& other);
+  Memory(Memory&&) = default;
+  Memory& operator=(Memory&&) = default;
 
   /// Maps a region.  Regions must not overlap; they are kept sorted by base.
   /// Returns the region index, which stays stable for the Memory lifetime.
@@ -40,34 +84,94 @@ class Memory {
 
   /// Reads the word at `a` into `out`.  Returns a Trap (kind None on
   /// success).  No C++ exceptions: this is the simulator hot path.
-  Trap read(Addr a, Word& out) const;
+  /// The last-hit-region fast path lives here so call sites inline it.
+  Trap read(Addr a, Word& out) const {
+    if (hint_ < regions_.size()) {
+      const Region& r = regions_[hint_];
+      if (r.contains(a)) {
+        out = r.data[a - r.base];
+        return {};
+      }
+    }
+    return read_slow(a, out);
+  }
 
   /// Writes `v` at `a`.  Returns a Trap (kind None on success).
-  Trap write(Addr a, Word v);
+  Trap write(Addr a, Word v) {
+    if (hint_ < regions_.size()) {
+      Region& r = regions_[hint_];
+      if (r.contains(a) && r.perm == Perm::ReadWrite) {
+        r.data[a - r.base] = v;
+        ++r.gen;
+        return {};
+      }
+    }
+    return write_slow(a, v);
+  }
 
   /// Unchecked accessors for host-side (non-simulated) setup and
   /// inspection.  Aborts if `a` is unmapped — programming error, not a
   /// simulated fault.
-  Word peek(Addr a) const;
-  void poke(Addr a, Word v);
+  Word peek(Addr a) const {
+    if (hint_ < regions_.size() && regions_[hint_].contains(a)) {
+      const Region& r = regions_[hint_];
+      return r.data[a - r.base];
+    }
+    return peek_slow(a);
+  }
+  void poke(Addr a, Word v) {
+    if (hint_ < regions_.size() && regions_[hint_].contains(a)) {
+      Region& r = regions_[hint_];
+      r.data[a - r.base] = v;
+      ++r.gen;
+      return;
+    }
+    poke_slow(a, v);
+  }
 
   bool is_mapped(Addr a) const { return find(a) != nullptr; }
   const Region* region_at(Addr a) const { return find(a); }
   const std::vector<Region>& regions() const { return regions_; }
 
-  /// Snapshot/restore of all region contents, for golden-run comparison
-  /// and for re-running a faulted activation from a clean state.
-  std::vector<std::vector<Word>> snapshot() const;
-  void restore(const std::vector<std::vector<Word>>& snap);
+  /// Snapshot of all region contents, for golden-run comparison and for
+  /// re-running a faulted activation from a clean state.
+  Snapshot snapshot() const;
+
+  /// Like snapshot(), but reuses `out`'s buffers and skips regions whose
+  /// generation shows `out` already holds their current contents.  The
+  /// campaign loop re-captures the same Snapshot object every injection;
+  /// only regions the last activation actually wrote get re-copied.
+  void snapshot_into(Snapshot& out) const;
+
+  /// Restores region contents from `snap`.  Incremental: a region is
+  /// copied back only if it was mutated since the last sync with `snap`'s
+  /// source, or if the source itself mutated it since that sync — regions
+  /// untouched on both sides are provably identical and skipped.
+  void restore(const Snapshot& snap);
 
   /// Zero-fills every mapped region.
   void clear();
 
  private:
+  /// Per-region record of the last restore: which source snapshot state
+  /// this region was synced to, and our own generation right after.
+  struct SyncState {
+    std::uint64_t source_id = 0;   ///< 0: never synced
+    std::uint64_t source_gen = 0;
+    std::uint64_t own_gen = 0;
+  };
+
   const Region* find(Addr a) const;
   Region* find(Addr a);
+  Trap read_slow(Addr a, Word& out) const;
+  Trap write_slow(Addr a, Word v);
+  Word peek_slow(Addr a) const;
+  void poke_slow(Addr a, Word v);
 
   std::vector<Region> regions_;  // sorted by base
+  std::vector<SyncState> sync_;  // parallel to regions_
+  std::uint64_t id_ = 0;         ///< unique per instance (and per copy)
+  mutable std::size_t hint_ = 0; ///< last-hit region index (locality cache)
 };
 
 }  // namespace xentry::sim

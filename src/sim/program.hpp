@@ -32,6 +32,13 @@ class Program {
 
   const Instruction& at(Addr rip) const { return code_[rip - base_]; }
 
+  /// Single-lookup fetch for the interpreter hot path: nullptr when `rip`
+  /// is outside the code image (instruction fetch from unmapped memory).
+  const Instruction* fetch(Addr rip) const {
+    const Addr off = rip - base_;
+    return off < code_.size() ? &code_[off] : nullptr;
+  }
+
   /// Address of a named symbol (function entry).  Throws if unknown.
   Addr symbol(const std::string& name) const;
   bool has_symbol(const std::string& name) const {

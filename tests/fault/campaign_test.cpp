@@ -8,6 +8,22 @@
 namespace xentry::fault {
 namespace {
 
+/// Field-by-field equality: the determinism contract is bit-identical
+/// records, not just aggregate counts.
+bool records_identical(const InjectionRecord& a, const InjectionRecord& b) {
+  return a.reason.code() == b.reason.code() &&
+         a.activation_seed == b.activation_seed && a.vcpu == b.vcpu &&
+         a.injection.at_step == b.injection.at_step &&
+         a.injection.reg == b.injection.reg &&
+         a.injection.bit == b.injection.bit && a.injected == b.injected &&
+         a.activated == b.activated && a.consequence == b.consequence &&
+         a.detected == b.detected && a.technique == b.technique &&
+         a.latency == b.latency && a.trap == b.trap &&
+         a.assert_id == b.assert_id && a.trace_diverged == b.trace_diverged &&
+         a.undetected == b.undetected &&
+         a.features.as_array() == b.features.as_array();
+}
+
 TEST(CampaignTest, RunsRequestedInjectionsAcrossShards) {
   CampaignConfig cfg;
   cfg.injections = 200;
@@ -37,6 +53,32 @@ TEST(CampaignTest, DeterministicForFixedSeedAndShards) {
   }
   EXPECT_EQ(manifested_a, manifested_b);
   EXPECT_EQ(detected_a, detected_b);
+}
+
+TEST(CampaignTest, BitIdenticalRecordsAndDatasetForFixedSeedAndShards) {
+  // Regression guard for the snapshot/golden-run-reuse optimizations: a
+  // fixed (seed, shards) pair must produce bit-identical record sequences
+  // and dataset labels, run after run.
+  CampaignConfig cfg;
+  cfg.injections = 300;
+  cfg.seed = 29;
+  cfg.shards = 3;
+  cfg.collect_dataset = true;
+  const auto a = run_campaign(cfg);
+  const auto b = run_campaign(cfg);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_TRUE(records_identical(a.records[i], b.records[i]))
+        << "record " << i << " differs";
+  }
+  ASSERT_EQ(a.dataset.size(), b.dataset.size());
+  for (std::size_t i = 0; i < a.dataset.size(); ++i) {
+    ASSERT_EQ(a.dataset.label(i), b.dataset.label(i)) << "label " << i;
+    const auto ra = a.dataset.row(i);
+    const auto rb = b.dataset.row(i);
+    ASSERT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin(), rb.end()))
+        << "row " << i;
+  }
 }
 
 TEST(CampaignTest, DatasetCollectedWhenRequested) {

@@ -23,6 +23,90 @@ TEST(ExperimentTest, GoldenProbeRestoresState) {
   EXPECT_EQ(rig.golden.memory().snapshot(), before);
 }
 
+TEST(ExperimentTest, GoldenProbeAdvanceLeavesPostRunStateAndFillsProbe) {
+  // Two identical rigs: one advances via a plain golden run, the other
+  // via probe_golden_advance.  The golden machines must end bit-identical
+  // (the probe run IS the golden run), and the probe must carry the same
+  // trace/steps as the restoring probe_golden.
+  Rig plain, probed;
+  const auto act = plain.golden.make_activation(
+      hv::ExitReason::hypercall(hv::Hypercall::mmu_update), 5);
+  const auto reference = plain.exp.probe_golden(act);  // restores state
+  plain.golden.run(act);
+
+  InjectionExperiment::GoldenProbe probe;
+  probed.exp.probe_golden_advance(act, probe);
+  EXPECT_EQ(probe.steps, reference.steps);
+  EXPECT_EQ(probe.trace, reference.trace);
+  EXPECT_TRUE(probe.reached_vm_entry);
+  EXPECT_EQ(probed.golden.memory().snapshot(),
+            plain.golden.memory().snapshot());
+}
+
+TEST(ExperimentTest, ProbeReuseRunOneMatchesTwoRunPath) {
+  // The golden-run-reuse fast path must produce bit-identical results to
+  // the legacy path that re-executes the golden run inside run_one.
+  Rig legacy, fast;
+  std::vector<hv::Activation> acts;
+  for (int i = 0; i < 20; ++i) {
+    acts.push_back(legacy.golden.make_activation(
+        hv::all_exit_reasons()[static_cast<std::size_t>(i) %
+                               hv::all_exit_reasons().size()],
+        40 + i));
+  }
+  std::mt19937_64 rng_a(77), rng_b(77);
+  InjectionExperiment::GoldenProbe probe;
+  for (const auto& act : acts) {
+    const auto ref_probe = legacy.exp.probe_golden(act);
+    const hv::Injection inj_a = InjectionExperiment::draw_activated_injection(
+        rng_a, ref_probe.trace, legacy.golden.microvisor().program);
+    const auto a = legacy.exp.run_one(act, inj_a);
+
+    fast.exp.probe_golden_advance(act, probe);
+    const hv::Injection inj_b = InjectionExperiment::draw_activated_injection(
+        rng_b, probe.trace, fast.golden.microvisor().program);
+    const auto b = fast.exp.run_one(act, inj_b, probe);
+
+    ASSERT_EQ(inj_a.at_step, inj_b.at_step);
+    ASSERT_EQ(inj_a.reg, inj_b.reg);
+    ASSERT_EQ(inj_a.bit, inj_b.bit);
+    EXPECT_EQ(a.golden_ok, b.golden_ok);
+    EXPECT_EQ(a.golden_features.as_array(), b.golden_features.as_array());
+    EXPECT_EQ(a.record.activated, b.record.activated);
+    EXPECT_EQ(a.record.consequence, b.record.consequence);
+    EXPECT_EQ(a.record.detected, b.record.detected);
+    EXPECT_EQ(a.record.technique, b.record.technique);
+    EXPECT_EQ(a.record.latency, b.record.latency);
+    EXPECT_EQ(a.record.trap, b.record.trap);
+    EXPECT_EQ(a.record.trace_diverged, b.record.trace_diverged);
+    EXPECT_EQ(a.record.undetected, b.record.undetected);
+    EXPECT_EQ(a.record.features.as_array(), b.record.features.as_array());
+  }
+  // Both rigs must also end with machines in the same state.
+  EXPECT_EQ(legacy.golden.memory().snapshot(),
+            fast.golden.memory().snapshot());
+  EXPECT_EQ(legacy.faulty.memory().snapshot(),
+            fast.faulty.memory().snapshot());
+}
+
+TEST(ExperimentTest, ActivatedDrawWithEmptyTraceIsWellFormed) {
+  std::mt19937_64 rng(3);
+  sim::Program empty_prog;
+  bool saw_non_default_reg = false;
+  for (int i = 0; i < 100; ++i) {
+    const hv::Injection inj = InjectionExperiment::draw_activated_injection(
+        rng, {}, empty_prog);
+    EXPECT_EQ(inj.at_step, 0u);
+    EXPECT_GE(inj.bit, 0);
+    EXPECT_LT(inj.bit, sim::kBitsPerReg);
+    EXPECT_GE(static_cast<int>(inj.reg), 0);
+    EXPECT_LT(static_cast<int>(inj.reg), sim::kNumArchRegs);
+    saw_non_default_reg |= inj.reg != sim::Reg::rax;
+  }
+  // The fallback draws a uniform register, not the default-initialized rax.
+  EXPECT_TRUE(saw_non_default_reg);
+}
+
 TEST(ExperimentTest, AdvanceKeepsMachinesInLockstep) {
   Rig rig;
   for (int i = 0; i < 5; ++i) {

@@ -85,12 +85,125 @@ TEST(MemoryTest, SnapshotRestoreRoundTrips) {
   EXPECT_EQ(mem.peek(0x104), 9u);
 }
 
+TEST(MemoryTest, IncrementalRestoreEquivalentToFullRestore) {
+  // Arbitrary write pattern, restore, re-write, restore again: every
+  // restore must reproduce the snapshot exactly even though only dirty
+  // regions are copied back.
+  Memory mem;
+  mem.map(0x0, 16, Perm::ReadWrite, "a");
+  mem.map(0x100, 16, Perm::ReadWrite, "b");
+  mem.map(0x200, 16, Perm::ReadWrite, "c");
+  for (int i = 0; i < 16; ++i) {
+    mem.poke(0x0 + i, 10 + i);
+    mem.poke(0x100 + i, 20 + i);
+  }
+  const Memory::Snapshot snap = mem.snapshot();
+
+  // Touch only region "a"; "b"/"c" stay clean and may be skipped.
+  ASSERT_FALSE(mem.write(0x3, 999));
+  mem.restore(snap);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(mem.peek(0x0 + i), Word(10 + i));
+    EXPECT_EQ(mem.peek(0x100 + i), Word(20 + i));
+    EXPECT_EQ(mem.peek(0x200 + i), 0u);
+  }
+
+  // Re-write after the restore (including a previously clean region),
+  // then restore again.
+  mem.poke(0x3, 1234);
+  mem.poke(0x105, 5678);
+  mem.poke(0x20f, 42);
+  mem.restore(snap);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(mem.peek(0x0 + i), Word(10 + i));
+    EXPECT_EQ(mem.peek(0x100 + i), Word(20 + i));
+    EXPECT_EQ(mem.peek(0x200 + i), 0u);
+  }
+}
+
+TEST(MemoryTest, RestoreTracksSourceAcrossSnapshots) {
+  // The campaign sync pattern: a faulty memory is repeatedly re-aligned
+  // with successive snapshots of a golden memory while both mutate.
+  Memory golden, faulty;
+  golden.map(0x0, 8, Perm::ReadWrite, "r0");
+  golden.map(0x100, 8, Perm::ReadWrite, "r1");
+  faulty.map(0x0, 8, Perm::ReadWrite, "r0");
+  faulty.map(0x100, 8, Perm::ReadWrite, "r1");
+
+  Memory::Snapshot snap;
+  for (int round = 0; round < 5; ++round) {
+    golden.poke(0x1, 100 + round);             // r0 changes every round
+    if (round == 2) golden.poke(0x101, 777);   // r1 changes once
+    golden.snapshot_into(snap);
+    if (round % 2 == 0) faulty.poke(0x102, 55);  // faulty diverges
+    faulty.restore(snap);
+    for (Addr a : {Addr{0x1}, Addr{0x101}, Addr{0x102}}) {
+      EXPECT_EQ(faulty.peek(a), golden.peek(a)) << "round " << round;
+    }
+  }
+}
+
+TEST(MemoryTest, SnapshotIntoReusesBuffersAndSeesNewWrites) {
+  Memory mem;
+  mem.map(0x0, 8, Perm::ReadWrite, "a");
+  mem.poke(0x2, 7);
+  Memory::Snapshot snap;
+  mem.snapshot_into(snap);
+  const Word* buf = snap.regions[0].data.data();
+  mem.poke(0x2, 9);
+  mem.snapshot_into(snap);
+  EXPECT_EQ(snap.regions[0].data[2], 9u);
+  EXPECT_EQ(snap.regions[0].data.data(), buf);  // no reallocation
+  EXPECT_EQ(snap, mem.snapshot());
+}
+
+TEST(MemoryTest, RestoreFromCopiedMemoryIsNotSkipped) {
+  // Copies get a fresh identity: snapshots of a copy must not be
+  // confused with snapshots of the original after the two diverge.
+  Memory a;
+  a.map(0x0, 4, Perm::ReadWrite, "r");
+  a.poke(0x1, 5);
+  Memory b = a;
+  b.poke(0x1, 6);
+  Memory target;
+  target.map(0x0, 4, Perm::ReadWrite, "r");
+  target.restore(a.snapshot());
+  EXPECT_EQ(target.peek(0x1), 5u);
+  target.restore(b.snapshot());
+  EXPECT_EQ(target.peek(0x1), 6u);
+  target.restore(a.snapshot());
+  EXPECT_EQ(target.peek(0x1), 5u);
+}
+
+TEST(MemoryTest, ReadOnlyRegionSurvivesSnapshotRoundTrip) {
+  Memory mem;
+  mem.map(0x0, 4, Perm::ReadWrite, "rw");
+  mem.map(0x100, 4, Perm::Read, "ro");
+  const Memory::Snapshot snap = mem.snapshot();
+  EXPECT_EQ(mem.write(0x101, 9).kind, TrapKind::GeneralProtection);
+  mem.poke(0x1, 3);
+  mem.restore(snap);
+  EXPECT_EQ(mem.peek(0x101), 0u);
+  EXPECT_EQ(mem.peek(0x1), 0u);
+}
+
 TEST(MemoryTest, ClearZeroesEverything) {
   Memory mem;
   mem.map(0x0, 8, Perm::ReadWrite, "a");
   mem.poke(0x1, 5);
   mem.clear();
   EXPECT_EQ(mem.peek(0x1), 0u);
+}
+
+TEST(MemoryTest, ClearCountsAsMutationForIncrementalRestore) {
+  Memory mem;
+  mem.map(0x0, 8, Perm::ReadWrite, "a");
+  mem.poke(0x1, 5);
+  const Memory::Snapshot snap = mem.snapshot();
+  mem.restore(snap);  // establish sync, then mutate via clear()
+  mem.clear();
+  mem.restore(snap);
+  EXPECT_EQ(mem.peek(0x1), 5u);
 }
 
 TEST(MemoryTest, BitFlippedPointerLandsOutsideRegions) {
