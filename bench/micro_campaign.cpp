@@ -33,7 +33,45 @@ struct CampaignScore {
   std::size_t records = 0;
   std::size_t manifested = 0;
   std::size_t detected = 0;
+  std::uint64_t digest = 0;
 };
+
+/// FNV-1a over every field of every record, in order.  The digest pins the
+/// full record stream for a fixed (injections, shards, seed) triple, so CI
+/// can assert determinism without shipping the records themselves.
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t records_digest(const std::vector<fault::InjectionRecord>& recs) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const fault::InjectionRecord& r : recs) {
+    h = fnv1a(h, static_cast<std::uint64_t>(r.reason.code()));
+    h = fnv1a(h, r.activation_seed);
+    h = fnv1a(h, static_cast<std::uint64_t>(r.vcpu));
+    h = fnv1a(h, r.injection.at_step);
+    h = fnv1a(h, static_cast<std::uint64_t>(r.injection.reg));
+    h = fnv1a(h, static_cast<std::uint64_t>(r.injection.bit));
+    h = fnv1a(h, r.injected);
+    h = fnv1a(h, r.activated);
+    h = fnv1a(h, static_cast<std::uint64_t>(r.consequence));
+    h = fnv1a(h, r.detected);
+    h = fnv1a(h, static_cast<std::uint64_t>(r.technique));
+    h = fnv1a(h, r.latency);
+    h = fnv1a(h, static_cast<std::uint64_t>(r.trap));
+    h = fnv1a(h, r.assert_id);
+    h = fnv1a(h, r.trace_diverged);
+    h = fnv1a(h, static_cast<std::uint64_t>(r.undetected));
+    for (std::int64_t f : r.features.as_array()) {
+      h = fnv1a(h, static_cast<std::uint64_t>(f));
+    }
+  }
+  return h;
+}
 
 CampaignScore time_campaign(int injections, int shards, std::uint64_t seed) {
   fault::CampaignConfig cfg;
@@ -50,6 +88,7 @@ CampaignScore time_campaign(int injections, int shards, std::uint64_t seed) {
     score.manifested += fault::is_manifested(r.consequence);
     score.detected += r.detected;
   }
+  score.digest = records_digest(res.records);
   return score;
 }
 
@@ -118,6 +157,7 @@ int main(int argc, char** argv) {
       "  \"shards\": %d,\n"
       "  \"seed\": %llu,\n"
       "  \"records\": %zu,\n"
+      "  \"records_digest\": \"%016llx\",\n"
       "  \"manifested\": %zu,\n"
       "  \"detected\": %zu,\n"
       "  \"campaign_elapsed_sec\": %.4f,\n"
@@ -127,7 +167,8 @@ int main(int argc, char** argv) {
       "  \"snapshot_round_trips_per_sec\": %.0f\n"
       "}\n",
       injections, shards, static_cast<unsigned long long>(seed),
-      campaign.records, campaign.manifested, campaign.detected,
+      campaign.records, static_cast<unsigned long long>(campaign.digest),
+      campaign.manifested, campaign.detected,
       campaign.elapsed,
       static_cast<double>(campaign.records) / campaign.elapsed,
       static_cast<double>(golden.steps) / golden.elapsed,

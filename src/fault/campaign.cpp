@@ -15,8 +15,10 @@ wl::WorkloadProfile uniform_sweep_profile() {
 
 namespace {
 
-/// One shard's work: its own machines, generator, and RNG.
-CampaignResult run_shard(const CampaignConfig& cfg, int shard_index,
+/// One shard's work: its own machines, generator, and RNG.  The workload
+/// profile is resolved once in run_campaign and shared read-only.
+CampaignResult run_shard(const CampaignConfig& cfg,
+                         const wl::WorkloadProfile& profile, int shard_index,
                          int num_shards) {
   const int base = cfg.injections / num_shards;
   const int extra = shard_index < cfg.injections % num_shards ? 1 : 0;
@@ -32,8 +34,6 @@ CampaignResult run_shard(const CampaignConfig& cfg, int shard_index,
   if (!cfg.model.empty()) xentry.set_model(cfg.model);
   InjectionExperiment experiment(golden, faulty, xentry, cfg.outcome);
 
-  wl::WorkloadProfile profile =
-      cfg.workload.mix.empty() ? uniform_sweep_profile() : cfg.workload;
   const std::uint64_t shard_seed =
       cfg.seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(shard_index);
   wl::WorkloadGenerator gen(golden, profile, shard_seed);
@@ -89,24 +89,37 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   }
   if (shards > cfg.injections && cfg.injections > 0) shards = cfg.injections;
 
+  const wl::WorkloadProfile profile =
+      cfg.workload.mix.empty() ? uniform_sweep_profile() : cfg.workload;
+
   std::vector<CampaignResult> partials(static_cast<std::size_t>(shards));
   {
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(shards));
     for (int s = 0; s < shards; ++s) {
-      threads.emplace_back([&cfg, &partials, s, shards] {
-        partials[static_cast<std::size_t>(s)] = run_shard(cfg, s, shards);
+      threads.emplace_back([&cfg, &profile, &partials, s, shards] {
+        partials[static_cast<std::size_t>(s)] =
+            run_shard(cfg, profile, s, shards);
       });
     }
   }  // jthreads join here
 
+  // Move-merge: records splice via move iterators, datasets via one bulk
+  // append per shard.  Order stays by shard index, so merged output is
+  // deterministic for a fixed (seed, shards).
   CampaignResult merged;
+  std::size_t total_records = 0, total_rows = 0;
+  for (const CampaignResult& p : partials) {
+    total_records += p.records.size();
+    total_rows += p.dataset.size();
+  }
+  merged.records.reserve(total_records);
+  merged.dataset.reserve(total_rows);
   for (CampaignResult& p : partials) {
-    merged.records.insert(merged.records.end(), p.records.begin(),
-                          p.records.end());
-    for (std::size_t r = 0; r < p.dataset.size(); ++r) {
-      merged.dataset.add(p.dataset.row(r), p.dataset.label(r));
-    }
+    merged.records.insert(merged.records.end(),
+                          std::make_move_iterator(p.records.begin()),
+                          std::make_move_iterator(p.records.end()));
+    merged.dataset.append(p.dataset);
   }
   return merged;
 }

@@ -316,10 +316,12 @@ void Machine::prepare_inputs(const Activation& act) {
   guest_ctx[16] = ram + 0x10 + sm.below(0x80);  // guest rip
   guest_ctx[17] = ram + 0xc0 + sm.below(0x20);  // guest rsp
   guest_ctx[18] = sm.below(0x100);              // guest rflags
-  for (int i = 0; i < 19; ++i) {
-    mem_.poke(hv + L::kHvScratch + i, guest_ctx[i]);
-    mem_.poke(vc + L::kVcpuSaveGprs + i, guest_ctx[i]);
-  }
+  // Bulk spans: this runs per activation, so pay one region lookup per
+  // destination instead of one per word.
+  Word* scratch = mem_.poke_span(hv + L::kHvScratch, 19);
+  Word* save = mem_.poke_span(vc + L::kVcpuSaveGprs, 19);
+  for (int i = 0; i < 19; ++i) scratch[i] = guest_ctx[i];
+  for (int i = 0; i < 19; ++i) save[i] = guest_ctx[i];
 
   // Device / platform state handlers may consult.
   mem_.poke(hv + L::kHvApicEsr, sm.below(0x100));
@@ -333,27 +335,35 @@ void Machine::prepare_inputs(const Activation& act) {
   // Request buffer: whatever the handler's batch loops will read.
   const Addr req = ram + L::kGuestReqBuffer;
   auto fill_default = [&] {
-    for (int i = 0; i < 64; ++i) mem_.poke(req + i, sm.next() & 0xffff);
+    Word* buf = mem_.poke_span(req, 64);
+    for (int i = 0; i < 64; ++i) buf[i] = sm.next() & 0xffff;
   };
   if (act.reason.category == ExitCategory::Hypercall) {
     switch (static_cast<Hypercall>(act.reason.index)) {
-      case Hypercall::set_trap_table:
+      case Hypercall::set_trap_table: {
+        Word* buf = mem_.poke_span(req, 34);
         for (int i = 0; i < 17; ++i) {
           const Word vec = sm.below(kNumGuestExceptions);
-          mem_.poke(req + 2 * i, vec);
-          mem_.poke(req + 2 * i + 1, ram + 0x10 + vec);
+          buf[2 * i] = vec;
+          buf[2 * i + 1] = ram + 0x10 + vec;
         }
         break;
-      case Hypercall::mmu_update:
+      }
+      case Hypercall::mmu_update: {
+        Word* buf = mem_.poke_span(req, 64);
         for (int i = 0; i < 32; ++i) {
-          mem_.poke(req + 2 * i, sm.below(64));
-          mem_.poke(req + 2 * i + 1, sm.next() & 0xffffff);
+          buf[2 * i] = sm.below(64);
+          buf[2 * i + 1] = sm.next() & 0xffffff;
         }
         break;
-      case Hypercall::set_gdt:
-        for (int i = 0; i < 8; ++i) mem_.poke(req + i, sm.next() | 1);
+      }
+      case Hypercall::set_gdt: {
+        Word* buf = mem_.poke_span(req, 8);
+        for (int i = 0; i < 8; ++i) buf[i] = sm.next() | 1;
         break;
-      case Hypercall::multicall:
+      }
+      case Hypercall::multicall: {
+        Word* buf = mem_.poke_span(req, 16);
         for (int i = 0; i < 8; ++i) {
           constexpr Word targets[] = {5, 9, 14, 16};
           const Word idx = targets[sm.below(4)];
@@ -361,20 +371,23 @@ void Machine::prepare_inputs(const Activation& act) {
           if (idx == 5) arg = sm.below(2);
           else if (idx == 9) arg = sm.below(8);
           else if (idx == 14) arg = (Word{1} << 50) + sm.below(1000);
-          mem_.poke(req + 2 * i, idx);
-          mem_.poke(req + 2 * i + 1, arg);
+          buf[2 * i] = idx;
+          buf[2 * i + 1] = arg;
         }
         break;
-      case Hypercall::grant_table_op:
-        for (int i = 0; i < 16; ++i) {
-          mem_.poke(req + i, sm.below(L::kNumGrantEntries));
-        }
+      }
+      case Hypercall::grant_table_op: {
+        Word* buf = mem_.poke_span(req, 16);
+        for (int i = 0; i < 16; ++i) buf[i] = sm.below(L::kNumGrantEntries);
         break;
-      case Hypercall::iret:
-        mem_.poke(ram + L::kGuestExcFrame + 0, ram + 0x20 + sm.below(0x40));
-        mem_.poke(ram + L::kGuestExcFrame + 1, sm.below(0x100));
-        mem_.poke(ram + L::kGuestExcFrame + 2, ram + 0xc0 + sm.below(0x20));
+      }
+      case Hypercall::iret: {
+        Word* frame = mem_.poke_span(ram + L::kGuestExcFrame, 3);
+        frame[0] = ram + 0x20 + sm.below(0x40);
+        frame[1] = sm.below(0x100);
+        frame[2] = ram + 0xc0 + sm.below(0x20);
         break;
+      }
       default:
         fill_default();
         break;
@@ -446,8 +459,11 @@ RunResult Machine::run(const Activation& act, const RunOptions& opts) {
   // Register read/write masks are only consumed while watching an
   // injection for activation; skip computing them on clean runs.
   cpu_.set_mask_tracking(inj != nullptr);
-  const bool stepwise =
-      inj != nullptr || opts.count_assertions || opts.trace != nullptr;
+  // Tracing alone no longer forces single-stepping: the specialized run
+  // loops record the trace themselves, so golden/probe runs stay on the
+  // fast engine.  Only injection watching and assertion counting need a
+  // per-instruction view.
+  const bool stepwise = inj != nullptr || opts.count_assertions;
 
   if (!stepwise) {
     const sim::StepInfo info = cpu_.run(opts.max_steps);
@@ -508,9 +524,6 @@ RunResult Machine::run(const Activation& act, const RunOptions& opts) {
         result.steps = step;
         break;
       }
-    }
-    if (result.reached_vm_entry || result.trap.kind != sim::TrapKind::None) {
-      // steps already recorded above
     }
   }
 

@@ -24,6 +24,19 @@ void Dataset::add(std::span<const std::int64_t> features, Label label) {
   labels_.push_back(label);
 }
 
+void Dataset::append(const Dataset& other) {
+  if (other.feature_names_ != feature_names_) {
+    throw std::invalid_argument("Dataset::append: feature schema mismatch");
+  }
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+}
+
+void Dataset::reserve(std::size_t rows) {
+  values_.reserve(rows * num_features());
+  labels_.reserve(rows);
+}
+
 std::size_t Dataset::count(Label l) const {
   return static_cast<std::size_t>(
       std::count(labels_.begin(), labels_.end(), l));

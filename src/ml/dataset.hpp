@@ -37,6 +37,15 @@ class Dataset {
   /// Appends one sample.  `features.size()` must equal num_features().
   void add(std::span<const std::int64_t> features, Label label);
 
+  /// Appends every row of `other` in order.  The feature schemas must be
+  /// identical (same names, same order).  One bulk splice per underlying
+  /// buffer — this is how campaign shard results merge.
+  void append(const Dataset& other);
+
+  /// Grows the underlying buffers to hold `rows` total rows without
+  /// reallocating on the way there.
+  void reserve(std::size_t rows);
+
   std::int64_t value(std::size_t row, std::size_t col) const {
     return values_[row * num_features() + col];
   }

@@ -3,7 +3,22 @@
 // The CPU interprets a pre-decoded Program against a Memory, maintaining
 // the 18 architectural registers that form the paper's fault-injection
 // surface.  Hardware faults are reported as values (Trap), never as C++
-// exceptions: step() is the simulator's hot path.
+// exceptions: the run loops are the simulator's hot path.
+//
+// Two engines share the architectural semantics:
+//   - step() / run_reference(): the reference engine.  One instruction per
+//     call, a fresh StepInfo per step — used by single-step callers
+//     (injection-point stepping, lockstep comparison) and as the oracle
+//     the differential tests check the fast engine against.
+//   - run(): the mode-specialized engine.  Dispatches once, per run, to a
+//     loop templated over the three per-step feature flags (trace
+//     recording, register-mask tracking, shadow-stack redundancy), so the
+//     common golden-run configuration compiles to a tight loop with zero
+//     disabled-feature branches.  Retire bookkeeping (steps, TSC,
+//     counters) accumulates in locals and is flushed once at loop exit,
+//     and fusable Cmp*/Test* + Jcc pairs (see Program::fused) execute in
+//     one dispatch while still retiring as two instructions.  Every
+//     architectural observable is bit-identical to the reference engine.
 #pragma once
 
 #include <array>
@@ -59,14 +74,23 @@ class Cpu {
 
   // -- execution ---------------------------------------------------------------
 
-  /// Executes one instruction.  On a trap, the architectural state is left
-  /// as of the faulting instruction (rip points at it).
+  /// Executes one instruction (reference engine).  On a trap, the
+  /// architectural state is left as of the faulting instruction (rip
+  /// points at it).
   StepInfo step();
 
   /// Runs until Hlt, a trap, or `max_steps` instructions (which raises the
   /// Watchdog trap, modelling Xen's NMI watchdog catching a hung
-  /// hypervisor).  Returns the last StepInfo.
+  /// hypervisor).  Returns the last StepInfo.  Picks the run-loop
+  /// specialization for the current trace/mask/shadow configuration once,
+  /// then executes with no per-step feature tests; the feature setters
+  /// must not be called while a run is in flight.
   StepInfo run(std::uint64_t max_steps);
+
+  /// Reference-engine equivalent of run(): drives step() one instruction
+  /// at a time.  Semantically identical to run() (the differential tests
+  /// assert it); kept for lockstep callers and as the oracle.
+  StepInfo run_reference(std::uint64_t max_steps);
 
   std::uint64_t steps_executed() const { return steps_; }
 
@@ -107,6 +131,12 @@ class Cpu {
   void set_flags_cmp(Word a, Word b);
   void set_flags_result(Word res);
   bool flag(Word bit) const { return (reg(Reg::rflags) & bit) != 0; }
+
+  /// The mode-specialized hot loop behind run().  One instantiation per
+  /// trace/mask/shadow combination; `Masks` only affects the StepInfo
+  /// materialized at loop exit (per-step masks are a step() concern).
+  template <bool Trace, bool Masks, bool Shadow>
+  StepInfo run_loop(std::uint64_t max_steps);
 
   const Program* prog_;
   Memory* mem_;

@@ -24,13 +24,15 @@ Memory::Memory(const Memory& other)
     : regions_(other.regions_),
       sync_(other.sync_),
       id_(next_memory_id()),
-      hint_(other.hint_) {}
+      hint_(other.hint_),
+      hint2_(other.hint2_) {}
 
 Memory& Memory::operator=(const Memory& other) {
   if (this != &other) {
     regions_ = other.regions_;
     sync_ = other.sync_;
     hint_ = other.hint_;
+    hint2_ = other.hint2_;
     // Fresh identity: snapshots captured from the old contents must not
     // be mistaken for captures of the newly assigned contents.
     id_ = next_memory_id();
@@ -65,9 +67,12 @@ std::size_t Memory::map(Addr base, Addr size, Perm perm, std::string name) {
 
 const Memory::Region* Memory::find(Addr a) const {
   // Straight-line code hits the same region on almost every access; try
-  // the last-hit region before falling back to the binary search.
+  // the two last-hit regions before falling back to the binary search.
   if (hint_ < regions_.size() && regions_[hint_].contains(a)) {
     return &regions_[hint_];
+  }
+  if (hint2_ < regions_.size() && regions_[hint2_].contains(a)) {
+    return &regions_[hint2_];
   }
   // Regions are sorted by base; find the last region with base <= a.
   auto it = std::upper_bound(
@@ -76,6 +81,7 @@ const Memory::Region* Memory::find(Addr a) const {
   if (it == regions_.begin()) return nullptr;
   --it;
   if (!it->contains(a)) return nullptr;
+  hint2_ = hint_;
   hint_ = static_cast<std::size_t>(it - regions_.begin());
   return &*it;
 }
@@ -115,6 +121,14 @@ void Memory::poke_slow(Addr a, Word v) {
   if (r == nullptr) std::abort();
   r->data[a - r->base] = v;
   ++r->gen;
+}
+
+Word* Memory::poke_span(Addr a, Addr len) {
+  Region* r = find(a);
+  assert(r != nullptr && "poke_span of unmapped address");
+  if (r == nullptr || len == 0 || a - r->base + len > r->size) std::abort();
+  ++r->gen;
+  return &r->data[a - r->base];
 }
 
 Memory::Snapshot Memory::snapshot() const {

@@ -84,10 +84,19 @@ class Memory {
 
   /// Reads the word at `a` into `out`.  Returns a Trap (kind None on
   /// success).  No C++ exceptions: this is the simulator hot path.
-  /// The last-hit-region fast path lives here so call sites inline it.
+  /// The last-two-hit-regions fast path lives here so call sites inline
+  /// it; two entries cover the common stack/data alternation of handler
+  /// code, which a single hint would thrash on.
   Trap read(Addr a, Word& out) const {
     if (hint_ < regions_.size()) {
       const Region& r = regions_[hint_];
+      if (r.contains(a)) {
+        out = r.data[a - r.base];
+        return {};
+      }
+    }
+    if (hint2_ < regions_.size()) {
+      const Region& r = regions_[hint2_];
       if (r.contains(a)) {
         out = r.data[a - r.base];
         return {};
@@ -100,6 +109,14 @@ class Memory {
   Trap write(Addr a, Word v) {
     if (hint_ < regions_.size()) {
       Region& r = regions_[hint_];
+      if (r.contains(a) && r.perm == Perm::ReadWrite) {
+        r.data[a - r.base] = v;
+        ++r.gen;
+        return {};
+      }
+    }
+    if (hint2_ < regions_.size()) {
+      Region& r = regions_[hint2_];
       if (r.contains(a) && r.perm == Perm::ReadWrite) {
         r.data[a - r.base] = v;
         ++r.gen;
@@ -128,6 +145,12 @@ class Memory {
     }
     poke_slow(a, v);
   }
+
+  /// Direct mutable view of `len` words starting at `a`, for host-side
+  /// bulk setup (one region lookup and one generation bump instead of one
+  /// per word).  Aborts if the range is not fully inside one mapped
+  /// region — programming error, not a simulated fault.
+  Word* poke_span(Addr a, Addr len);
 
   bool is_mapped(Addr a) const { return find(a) != nullptr; }
   const Region* region_at(Addr a) const { return find(a); }
@@ -171,7 +194,8 @@ class Memory {
   std::vector<Region> regions_;  // sorted by base
   std::vector<SyncState> sync_;  // parallel to regions_
   std::uint64_t id_ = 0;         ///< unique per instance (and per copy)
-  mutable std::size_t hint_ = 0; ///< last-hit region index (locality cache)
+  mutable std::size_t hint_ = 0;  ///< last-hit region index (locality cache)
+  mutable std::size_t hint2_ = 0; ///< previous distinct hit (2-way cache)
 };
 
 }  // namespace xentry::sim

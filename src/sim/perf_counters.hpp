@@ -49,6 +49,19 @@ class PerfCounters {
     counts_.stores += store ? 1 : 0;
   }
 
+  /// Bulk retire from the specialized run loops, equivalent to `retired`
+  /// on_retire calls with the given per-class totals.  The loops accumulate
+  /// in locals and flush once at exit instead of paying the enabled check
+  /// and four read-modify-writes per instruction.
+  void retire_block(std::uint64_t retired, std::uint64_t branches,
+                    std::uint64_t loads, std::uint64_t stores) {
+    if (!enabled_) return;
+    counts_.inst_retired += retired;
+    counts_.branches += branches;
+    counts_.loads += loads;
+    counts_.stores += stores;
+  }
+
  private:
   PerfSnapshot counts_;
   bool enabled_ = false;

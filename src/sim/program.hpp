@@ -16,12 +16,34 @@
 
 namespace xentry::sim {
 
+/// Macro-op fusion metadata for one instruction slot, computed once at
+/// assembly time.  When `fused` is set, the slot holds a Cmp*/Test* whose
+/// immediate successor is a direct conditional jump and no control flow can
+/// land *between* the two; the specialized run loops may then execute the
+/// pair in one dispatch.  The pair still retires as two instructions (two
+/// trace entries, two counter retires, same rflags effects), so every
+/// architectural observable is bit-identical to unfused execution.  The
+/// architectural code stream is never rewritten: single-stepping, the
+/// injector, and diagnostics keep seeing the original two instructions.
+///
+/// The hot loops do not read this struct: the hint lives in
+/// Instruction::fused (the slot's padding byte) and the branch's opcode and
+/// target are read from the successor slot.  This accessor view exists for
+/// tests and diagnostics.
+struct FusedPair {
+  bool fused = false;
+  Opcode jcc = Opcode::Nop;  ///< the fused conditional branch
+  Addr target = 0;           ///< its taken-path target (resolved imm)
+};
+
 class Program {
  public:
   Program() = default;
   Program(Addr base, std::vector<Instruction> code,
           std::map<std::string, Addr> symbols)
-      : base_(base), code_(std::move(code)), symbols_(std::move(symbols)) {}
+      : base_(base), code_(std::move(code)), symbols_(std::move(symbols)) {
+    compute_fusion();
+  }
 
   Addr base() const { return base_; }
   Addr end() const { return base_ + code_.size(); }
@@ -39,6 +61,14 @@ class Program {
     return off < code_.size() ? &code_[off] : nullptr;
   }
 
+  /// Fusion metadata for the instruction slot at offset `off` (valid for
+  /// off < size()).
+  FusedPair fused(std::size_t off) const {
+    if (!code_[off].fused) return {};
+    const Instruction& jcc = code_[off + 1];
+    return FusedPair{true, jcc.op, static_cast<Addr>(jcc.imm)};
+  }
+
   /// Address of a named symbol (function entry).  Throws if unknown.
   Addr symbol(const std::string& name) const;
   bool has_symbol(const std::string& name) const {
@@ -51,6 +81,8 @@ class Program {
   std::string symbol_at(Addr rip) const;
 
  private:
+  void compute_fusion();
+
   Addr base_ = 0;
   std::vector<Instruction> code_;
   std::map<std::string, Addr> symbols_;

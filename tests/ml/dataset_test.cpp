@@ -104,5 +104,42 @@ TEST(DatasetTest, CsvRejectsMissingLabelColumn) {
   EXPECT_THROW(Dataset::load_csv(ss), std::runtime_error);
 }
 
+TEST(DatasetTest, AppendSplicesRowsInOrder) {
+  Dataset a = tiny();
+  Dataset b({"a", "b"});
+  b.add(std::array<std::int64_t, 2>{4, 40}, Label::Incorrect);
+  b.add(std::array<std::int64_t, 2>{5, 50}, Label::Correct);
+
+  a.reserve(a.size() + b.size());
+  a.append(b);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.value(3, 0), 4);
+  EXPECT_EQ(a.value(3, 1), 40);
+  EXPECT_EQ(a.label(3), Label::Incorrect);
+  EXPECT_EQ(a.value(4, 0), 5);
+  EXPECT_EQ(a.label(4), Label::Correct);
+  // Source is untouched.
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.value(0, 0), 4);
+}
+
+TEST(DatasetTest, AppendEmptyAndToEmpty) {
+  Dataset a = tiny();
+  Dataset empty({"a", "b"});
+  a.append(empty);
+  EXPECT_EQ(a.size(), 3u);
+  empty.append(a);
+  EXPECT_EQ(empty.size(), 3u);
+  EXPECT_EQ(empty.value(2, 1), 30);
+}
+
+TEST(DatasetTest, AppendRejectsSchemaMismatch) {
+  Dataset a = tiny();
+  Dataset renamed({"a", "c"});
+  Dataset wider({"a", "b", "c"});
+  EXPECT_THROW(a.append(renamed), std::invalid_argument);
+  EXPECT_THROW(a.append(wider), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace xentry::ml
