@@ -10,11 +10,14 @@
 //                paid between golden and faulty machines per injection)
 //
 // Output is a single JSON object, suitable for seeding a BENCH_*.json
-// trajectory.  Usage:  micro_campaign [injections] [shards] [seed]
+// trajectory.  A fourth argument enables the campaign progress heartbeat
+// on stderr (stdout stays pure JSON).
+// Usage:  micro_campaign [injections] [shards] [seed] [heartbeat_sec]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_util.hpp"
 #include "fault/campaign.hpp"
 #include "fault/stats.hpp"
 #include "hv/machine.hpp"
@@ -36,49 +39,30 @@ struct CampaignScore {
   std::uint64_t digest = 0;
 };
 
-/// FNV-1a over every field of every record, in order.  The digest pins the
-/// full record stream for a fixed (injections, shards, seed) triple, so CI
-/// can assert determinism without shipping the records themselves.
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= 0x100000001b3ull;
-  }
-  return h;
+/// Progress heartbeat on stderr, one line per sample, so a long campaign
+/// is observable without touching the JSON contract on stdout.
+void print_heartbeat(const fault::HeartbeatSample& s) {
+  std::fprintf(stderr,
+               "[micro_campaign] %llu/%llu injections  %.0f inj/s "
+               "(recent %.0f)  detected %llu  elapsed %.1fs%s\n",
+               static_cast<unsigned long long>(s.completed),
+               static_cast<unsigned long long>(s.total), s.injections_per_sec,
+               s.recent_per_sec,
+               static_cast<unsigned long long>(s.detected_total),
+               s.elapsed_sec, s.last ? "  [final]" : "");
 }
 
-std::uint64_t records_digest(const std::vector<fault::InjectionRecord>& recs) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const fault::InjectionRecord& r : recs) {
-    h = fnv1a(h, static_cast<std::uint64_t>(r.reason.code()));
-    h = fnv1a(h, r.activation_seed);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.vcpu));
-    h = fnv1a(h, r.injection.at_step);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.injection.reg));
-    h = fnv1a(h, static_cast<std::uint64_t>(r.injection.bit));
-    h = fnv1a(h, r.injected);
-    h = fnv1a(h, r.activated);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.consequence));
-    h = fnv1a(h, r.detected);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.technique));
-    h = fnv1a(h, r.latency);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.trap));
-    h = fnv1a(h, r.assert_id);
-    h = fnv1a(h, r.trace_diverged);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.undetected));
-    for (std::int64_t f : r.features.as_array()) {
-      h = fnv1a(h, static_cast<std::uint64_t>(f));
-    }
-  }
-  return h;
-}
-
-CampaignScore time_campaign(int injections, int shards, std::uint64_t seed) {
+CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
+                            double heartbeat_sec) {
   fault::CampaignConfig cfg;
   cfg.injections = injections;
   cfg.shards = shards;
   cfg.seed = seed;
   cfg.collect_dataset = true;
+  if (heartbeat_sec > 0) {
+    cfg.heartbeat.interval_sec = heartbeat_sec;
+    cfg.heartbeat.callback = print_heartbeat;
+  }
   const auto t0 = Clock::now();
   const fault::CampaignResult res = fault::run_campaign(cfg);
   CampaignScore score;
@@ -88,7 +72,7 @@ CampaignScore time_campaign(int injections, int shards, std::uint64_t seed) {
     score.manifested += fault::is_manifested(r.consequence);
     score.detected += r.detected;
   }
-  score.digest = records_digest(res.records);
+  score.digest = bench::records_digest(res.records);
   return score;
 }
 
@@ -145,8 +129,10 @@ int main(int argc, char** argv) {
   const int shards = argc > 2 ? std::atoi(argv[2]) : 1;
   const std::uint64_t seed =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+  const double heartbeat_sec = argc > 4 ? std::atof(argv[4]) : 0;
 
-  const CampaignScore campaign = time_campaign(injections, shards, seed);
+  const CampaignScore campaign =
+      time_campaign(injections, shards, seed, heartbeat_sec);
   const GoldenScore golden = time_golden(1.0);
   const SnapshotScore snap = time_snapshot(1.0);
 

@@ -1,6 +1,13 @@
 #include "fault/campaign.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace xentry::fault {
@@ -13,13 +20,84 @@ wl::WorkloadProfile uniform_sweep_profile() {
   return p;
 }
 
+void validate_campaign_config(const CampaignConfig& cfg) {
+  const auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("CampaignConfig: " + msg);
+  };
+  if (cfg.injections < 0) {
+    fail("injections must be >= 0, got " + std::to_string(cfg.injections));
+  }
+  // Negated comparison so NaN fails too.
+  if (!(cfg.activation_bias >= 0.0 && cfg.activation_bias <= 1.0)) {
+    fail("activation_bias must be within [0, 1], got " +
+         std::to_string(cfg.activation_bias));
+  }
+  if (cfg.warmup_activations < 0) {
+    fail("warmup_activations must be >= 0, got " +
+         std::to_string(cfg.warmup_activations));
+  }
+  if (cfg.stream_gap < 0) {
+    fail("stream_gap must be >= 0, got " + std::to_string(cfg.stream_gap));
+  }
+  if (cfg.shards < 0) {
+    fail("shards must be >= 0 (0 = hardware concurrency), got " +
+         std::to_string(cfg.shards));
+  }
+  if (cfg.obs.flight_recorder && cfg.obs.flight_recorder_depth <= 0) {
+    fail("obs.flight_recorder enabled with non-positive "
+         "flight_recorder_depth " +
+         std::to_string(cfg.obs.flight_recorder_depth));
+  }
+  if (cfg.obs.tracing && cfg.obs.trace_max_events == 0) {
+    fail("obs.tracing enabled with trace_max_events == 0 (every event "
+         "would be dropped)");
+  }
+  if (cfg.heartbeat.interval_sec > 0 && !cfg.heartbeat.callback) {
+    fail("heartbeat.interval_sec is set but no heartbeat.callback is "
+         "installed");
+  }
+  if (!(cfg.heartbeat.interval_sec >= 0) ||
+      std::isinf(cfg.heartbeat.interval_sec)) {
+    fail("heartbeat.interval_sec must be finite and >= 0");
+  }
+  if (cfg.xentry.transition_detection && cfg.model.empty() &&
+      !cfg.collect_dataset) {
+    fail("transition detection is enabled but no model is installed and no "
+         "dataset is being collected — it can never fire; install "
+         "cfg.model, set collect_dataset=true (the training "
+         "configuration), or disable xentry.transition_detection");
+  }
+}
+
 namespace {
 
-/// One shard's work: its own machines, generator, and RNG.  The workload
-/// profile is resolved once in run_campaign and shared read-only.
+using Clock = std::chrono::steady_clock;
+
+/// Per-shard progress cells for the heartbeat, padded to a cache line so
+/// shards never share one.  Relaxed increments: the monitor reads a
+/// point-in-time aggregate, not a synchronized snapshot.
+struct alignas(64) ShardProgress {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> detected[kNumTechniques]{};
+};
+
+/// Campaign-level metric handles, resolved once per shard.
+struct CampaignMetricHandles {
+  obs::Counter* injections = nullptr;  // liveness gate
+  obs::Counter* activated = nullptr;
+  obs::Counter* manifested = nullptr;
+  obs::Counter* detected = nullptr;
+  obs::Counter* golden_steps = nullptr;
+  obs::Counter* blackbox_dumps = nullptr;
+};
+
+/// One shard's work: its own machines, generator, RNG, and telemetry.
+/// The workload profile is resolved once in run_campaign and shared
+/// read-only; `progress` is null unless the heartbeat is enabled.
 CampaignResult run_shard(const CampaignConfig& cfg,
                          const wl::WorkloadProfile& profile, int shard_index,
-                         int num_shards) {
+                         int num_shards, obs::TraceRecorder::Clock::time_point epoch,
+                         ShardProgress* progress) {
   const int base = cfg.injections / num_shards;
   const int extra = shard_index < cfg.injections % num_shards ? 1 : 0;
   const int quota = base + extra;
@@ -30,17 +108,64 @@ CampaignResult run_shard(const CampaignConfig& cfg,
 
   hv::Machine golden(cfg.machine);
   hv::Machine faulty(cfg.machine);
-  Xentry xentry(cfg.xentry);
+
+  // -- shard-local telemetry (lock-free: nothing here is shared) ------------
+  const obs::Options& oo = cfg.obs;
+  result.trace = obs::TraceRecorder(oo.trace_max_events, epoch);
+  obs::TraceRecorder* const tr = oo.tracing ? &result.trace : nullptr;
+  const std::int32_t tid = shard_index;
+  obs::FlightRecorder flight(oo.flight_recorder_depth);
+  // Telemetry placement follows the cost structure: the FAULTY machine
+  // runs exactly once per injection (the interesting run — behavior under
+  // fault), so it carries the per-VM-exit span and the flight-recorder
+  // ring.  The GOLDEN machine runs ~4x as often (probe + advances), so it
+  // carries only the passive snapshot/restore histograms; its probe run
+  // is timed by the enclosing phase:golden_probe span instead.
+  obs::MachineTelemetry golden_hooks, faulty_hooks;
+  if (oo.tracing) {
+    faulty_hooks.trace = &result.trace;
+    faulty_hooks.tid = tid;
+  }
+  if (oo.flight_recorder) {
+    faulty_hooks.flight = &flight;
+    faulty_hooks.flight_source = 1;
+  }
+  if (oo.metrics) {
+    obs::Log2Histogram* snap = &result.metrics.histogram("machine.snapshot_ns");
+    obs::Log2Histogram* rest = &result.metrics.histogram("machine.restore_ns");
+    golden_hooks.snapshot_ns = faulty_hooks.snapshot_ns = snap;
+    golden_hooks.restore_ns = faulty_hooks.restore_ns = rest;
+  }
+  if (oo.metrics) golden.set_telemetry(&golden_hooks);
+  if (oo.any()) faulty.set_telemetry(&faulty_hooks);
+  CampaignMetricHandles cm;
+  if (oo.metrics) {
+    cm.injections = &result.metrics.counter("campaign.injections");
+    cm.activated = &result.metrics.counter("campaign.activated");
+    cm.manifested = &result.metrics.counter("campaign.manifested");
+    cm.detected = &result.metrics.counter("campaign.detected");
+    cm.golden_steps = &result.metrics.counter("campaign.golden_steps");
+    cm.blackbox_dumps = &result.metrics.counter("campaign.blackbox_dumps");
+  }
+
+  XentryConfig xcfg = cfg.xentry;
+  if (oo.metrics) xcfg.obs.metrics = true;
+  Xentry xentry(xcfg);
   if (!cfg.model.empty()) xentry.set_model(cfg.model);
+  if (oo.metrics) xentry.set_metrics(&result.metrics);
   InjectionExperiment experiment(golden, faulty, xentry, cfg.outcome);
+  if (oo.flight_recorder) experiment.set_flight_recorder(&flight);
 
   const std::uint64_t shard_seed =
       cfg.seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(shard_index);
   wl::WorkloadGenerator gen(golden, profile, shard_seed);
   std::mt19937_64 rng(shard_seed ^ 0xc2b2ae3d27d4eb4full);
 
-  for (int i = 0; i < cfg.warmup_activations; ++i) {
-    experiment.advance(gen.next());
+  {
+    obs::TraceRecorder::Span warm(tr, "phase:warmup", tid);
+    for (int i = 0; i < cfg.warmup_activations; ++i) {
+      experiment.advance(gen.next());
+    }
   }
 
   std::bernoulli_distribution biased(cfg.activation_bias);
@@ -50,7 +175,10 @@ CampaignResult run_shard(const CampaignConfig& cfg,
     // The probe run doubles as the experiment's golden run: the golden
     // machine advances to its post-run state here and run_one only has to
     // execute the faulted machine.
-    experiment.probe_golden_advance(act, probe);
+    {
+      obs::TraceRecorder::Span span(tr, "phase:golden_probe", tid);
+      experiment.probe_golden_advance(act, probe);
+    }
     if (probe.steps == 0) {
       golden.restore(probe.pre);  // degenerate activation; rewind and skip
       continue;
@@ -60,7 +188,14 @@ CampaignResult run_shard(const CampaignConfig& cfg,
             ? InjectionExperiment::draw_activated_injection(
                   rng, probe.trace, golden.microvisor().program)
             : InjectionExperiment::draw_injection(rng, probe.steps);
-    InjectionExperiment::Result r = experiment.run_one(act, inj, probe);
+    InjectionExperiment::Result r;
+    {
+      // Covers the injection, the faulted run under Xentry interception,
+      // and the outcome classification.
+      obs::TraceRecorder::Span span(tr, "phase:faulted_run", tid);
+      span.arg("at_step", inj.at_step);
+      r = experiment.run_one(act, inj, probe);
+    }
     if (cfg.collect_dataset) {
       result.dataset.add(r.golden_features.as_array(), ml::Label::Correct);
       if (r.record.activated && r.record.trap == sim::TrapKind::None &&
@@ -71,7 +206,27 @@ CampaignResult run_shard(const CampaignConfig& cfg,
                                                    : ml::Label::Correct);
       }
     }
-    result.records.push_back(r.record);
+    result.records.push_back(std::move(r.record));
+    const InjectionRecord& rec = result.records.back();
+    if (cm.injections != nullptr) {
+      cm.injections->inc();
+      cm.golden_steps->inc(probe.steps);
+      if (rec.activated) cm.activated->inc();
+      if (is_manifested(rec.consequence)) cm.manifested->inc();
+      if (rec.detected) cm.detected->inc();
+      if (!rec.blackbox.empty()) cm.blackbox_dumps->inc();
+    }
+    if (tr != nullptr && !rec.detected &&
+        rec.consequence == Consequence::AppSdc) {
+      tr->instant("undetected_sdc", tid, "at_step", inj.at_step);
+    }
+    if (progress != nullptr) {
+      progress->completed.fetch_add(1, std::memory_order_relaxed);
+      if (rec.detected) {
+        progress->detected[static_cast<int>(rec.technique)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
     for (int g = 0; g < cfg.stream_gap; ++g) {
       experiment.advance(gen.next());
     }
@@ -82,6 +237,8 @@ CampaignResult run_shard(const CampaignConfig& cfg,
 }  // namespace
 
 CampaignResult run_campaign(const CampaignConfig& cfg) {
+  validate_campaign_config(cfg);
+
   int shards = cfg.shards;
   if (shards <= 0) {
     shards = static_cast<int>(std::thread::hardware_concurrency());
@@ -92,22 +249,96 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   const wl::WorkloadProfile profile =
       cfg.workload.mix.empty() ? uniform_sweep_profile() : cfg.workload;
 
+  const auto t0 = Clock::now();
+  const auto epoch = obs::TraceRecorder::Clock::now();
+
+  // -- heartbeat machinery ---------------------------------------------------
+  const bool heartbeat_on =
+      cfg.heartbeat.interval_sec > 0 && cfg.heartbeat.callback != nullptr;
+  std::unique_ptr<ShardProgress[]> progress;
+  if (heartbeat_on) {
+    progress = std::make_unique<ShardProgress[]>(
+        static_cast<std::size_t>(shards));
+  }
+  const auto make_sample = [&](bool last) {
+    HeartbeatSample s;
+    s.last = last;
+    s.total = static_cast<std::uint64_t>(cfg.injections);
+    for (int i = 0; i < shards; ++i) {
+      s.completed += progress[i].completed.load(std::memory_order_relaxed);
+      for (int t = 0; t < kNumTechniques; ++t) {
+        s.detected_by_technique[static_cast<std::size_t>(t)] +=
+            progress[i].detected[t].load(std::memory_order_relaxed);
+      }
+    }
+    for (std::uint64_t d : s.detected_by_technique) s.detected_total += d;
+    s.elapsed_sec = std::chrono::duration<double>(Clock::now() - t0).count();
+    s.injections_per_sec =
+        s.elapsed_sec > 0 ? static_cast<double>(s.completed) / s.elapsed_sec
+                          : 0.0;
+    return s;
+  };
+
+  std::jthread monitor;
+  if (heartbeat_on) {
+    monitor = std::jthread([&](std::stop_token st) {
+      std::mutex m;
+      std::condition_variable_any cv;
+      std::uint64_t prev_completed = 0;
+      auto prev_t = Clock::now();
+      std::unique_lock lk(m);
+      const auto interval =
+          std::chrono::duration<double>(cfg.heartbeat.interval_sec);
+      while (!st.stop_requested()) {
+        cv.wait_for(lk, st, interval, [] { return false; });
+        if (st.stop_requested()) break;  // final sample comes post-join
+        HeartbeatSample s = make_sample(false);
+        const auto now = Clock::now();
+        const double dt = std::chrono::duration<double>(now - prev_t).count();
+        s.recent_per_sec =
+            dt > 0 ? static_cast<double>(s.completed - prev_completed) / dt
+                   : 0.0;
+        prev_completed = s.completed;
+        prev_t = now;
+        cfg.heartbeat.callback(s);
+      }
+    });
+  }
+
   std::vector<CampaignResult> partials(static_cast<std::size_t>(shards));
   {
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(shards));
     for (int s = 0; s < shards; ++s) {
-      threads.emplace_back([&cfg, &profile, &partials, s, shards] {
-        partials[static_cast<std::size_t>(s)] =
-            run_shard(cfg, profile, s, shards);
-      });
+      threads.emplace_back(
+          [&cfg, &profile, &partials, &progress, s, shards, epoch] {
+            partials[static_cast<std::size_t>(s)] =
+                run_shard(cfg, profile, s, shards, epoch,
+                          progress ? &progress[s] : nullptr);
+          });
     }
   }  // jthreads join here
 
+  if (heartbeat_on) {
+    monitor.request_stop();
+    monitor.join();
+    // The exact end-of-campaign sample, from the caller's thread.
+    HeartbeatSample s = make_sample(true);
+    s.recent_per_sec = s.injections_per_sec;
+    cfg.heartbeat.callback(s);
+  }
+
   // Move-merge: records splice via move iterators, datasets via one bulk
-  // append per shard.  Order stays by shard index, so merged output is
-  // deterministic for a fixed (seed, shards).
+  // append per shard, metrics/trace via per-shard merges.  Order stays by
+  // shard index, so merged output is deterministic for a fixed
+  // (seed, shards).
   CampaignResult merged;
+  if (cfg.obs.tracing) {
+    // Global budget: each shard kept at most trace_max_events, so the
+    // merged buffer never drops what the shards kept.
+    merged.trace = obs::TraceRecorder(
+        cfg.obs.trace_max_events * static_cast<std::size_t>(shards), epoch);
+  }
   std::size_t total_records = 0, total_rows = 0;
   for (const CampaignResult& p : partials) {
     total_records += p.records.size();
@@ -120,6 +351,20 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
                           std::make_move_iterator(p.records.begin()),
                           std::make_move_iterator(p.records.end()));
     merged.dataset.append(p.dataset);
+    merged.metrics.merge_from(p.metrics);
+    merged.trace.merge_from(std::move(p.trace));
+  }
+  if (cfg.obs.metrics) {
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    merged.metrics.gauge("campaign.shards").set(shards);
+    merged.metrics.gauge("campaign.elapsed_us")
+        .set(static_cast<std::int64_t>(elapsed * 1e6));
+    merged.metrics.gauge("campaign.injections_per_sec")
+        .set(elapsed > 0 ? static_cast<std::int64_t>(
+                               static_cast<double>(merged.records.size()) /
+                               elapsed)
+                         : 0);
   }
   return merged;
 }

@@ -8,17 +8,38 @@
 // pair and shards share no mutable state.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "fault/experiment.hpp"
 #include "fault/outcome.hpp"
 #include "ml/dataset.hpp"
 #include "ml/rules.hpp"
+#include "obs/metrics.hpp"
+#include "obs/options.hpp"
+#include "obs/trace.hpp"
 #include "workloads/workload.hpp"
 #include "xentry/framework.hpp"
 
 namespace xentry::fault {
+
+/// One progress heartbeat (see CampaignConfig::Heartbeat).  Aggregated
+/// from relaxed per-shard counters, so mid-campaign samples are a
+/// consistent-enough snapshot, not a barrier; the final sample (emitted
+/// after all shards join) is exact.
+struct HeartbeatSample {
+  std::uint64_t completed = 0;  ///< injections finished so far
+  std::uint64_t total = 0;      ///< configured campaign size
+  double elapsed_sec = 0;
+  double injections_per_sec = 0;  ///< mean rate since campaign start
+  double recent_per_sec = 0;      ///< rate since the previous heartbeat
+  std::uint64_t detected_total = 0;
+  /// Indexed by Technique; entry 0 (None) stays zero.
+  std::array<std::uint64_t, kNumTechniques> detected_by_technique{};
+  bool last = false;  ///< true for the exact post-join sample
+};
 
 struct CampaignConfig {
   int injections = 1000;
@@ -47,7 +68,27 @@ struct CampaignConfig {
 
   /// Collect (features, label) samples into CampaignResult::dataset.
   bool collect_dataset = false;
+
+  /// Observability: per-shard metrics, phase/VM-exit tracing, and the
+  /// SDC flight recorder.  All off by default; none of it perturbs the
+  /// record stream (digests are bit-identical across telemetry modes).
+  obs::Options obs{};
+
+  /// Periodic progress reporting from a monitor thread.  Disabled unless
+  /// `interval_sec > 0` and a callback is installed; the callback runs on
+  /// the monitor thread (and once more, exactly, from the caller's thread
+  /// after all shards join, with `HeartbeatSample::last` set).
+  struct Heartbeat {
+    double interval_sec = 0;
+    std::function<void(const HeartbeatSample&)> callback;
+  };
+  Heartbeat heartbeat{};
 };
+
+/// Validates a configuration, throwing std::invalid_argument naming the
+/// offending field.  run_campaign calls this before spawning shards, so
+/// a bad config fails fast and loudly instead of silently misbehaving.
+void validate_campaign_config(const CampaignConfig& config);
 
 struct CampaignResult {
   std::vector<InjectionRecord> records;
@@ -55,6 +96,12 @@ struct CampaignResult {
   /// VM entry (Incorrect when the control-flow trace diverged).
   ml::Dataset dataset{std::vector<std::string>{"VMER", "RT", "BR", "RM",
                                                "WM"}};
+  /// Shard metrics merged in shard order (empty unless obs.metrics).
+  /// Includes campaign-level gauges (injections_per_sec, elapsed_us).
+  obs::MetricsRegistry metrics;
+  /// All shards' spans on one timeline, tid = shard index (empty unless
+  /// obs.tracing).  Export with trace.write_chrome_json for Perfetto.
+  obs::TraceRecorder trace;
 };
 
 /// Runs the campaign.  Deterministic per (config.seed, shard count).

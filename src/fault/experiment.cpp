@@ -170,6 +170,13 @@ InjectionExperiment::Result InjectionExperiment::run_faulted(
                       ? obs.detection_step - obs.run.activation_step
                       : 0;
   }
+
+  // SDC / crash postmortem: ship the recent VM-exit anatomy with the
+  // record so Table 2-style analysis needs no re-run.  The faulted run
+  // that produced this outcome is the ring's newest frame.
+  if (flight_ != nullptr && is_blackbox_worthy(rec.consequence)) {
+    flight_->dump_into(rec.blackbox);
+  }
   return out;
 }
 

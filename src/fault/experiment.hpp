@@ -112,6 +112,14 @@ class InjectionExperiment {
   /// its dynamic length, restoring state afterwards.
   std::uint64_t measure_golden_steps(const hv::Activation& activation);
 
+  /// Attaches the shard's VM-exit ring: when an injection's outcome is
+  /// SDC / crash class (`is_blackbox_worthy`), the ring is dumped into
+  /// the record's `blackbox` for re-run-free postmortems.  Borrowed;
+  /// nullptr (default) disables the dump.
+  void set_flight_recorder(const obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+
   /// Like measure_golden_steps but also captures the control-flow trace
   /// (for activated-biased injection draws).  Restores the golden machine
   /// to its pre-run state afterwards.
@@ -142,6 +150,7 @@ class InjectionExperiment {
   hv::Machine& faulty_;
   Xentry& xentry_;
   OutcomeModel model_;
+  const obs::FlightRecorder* flight_ = nullptr;
   std::uint64_t last_golden_steps_ = 0;
 
   // Scratch buffers reused across injections (allocation hygiene: the

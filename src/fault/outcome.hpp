@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "hv/machine.hpp"
+#include "obs/flight_recorder.hpp"
 #include "xentry/framework.hpp"
 
 namespace xentry::fault {
@@ -83,6 +85,20 @@ struct InjectionRecord {
   UndetectedClass undetected = UndetectedClass::NotApplicable;
 
   FeatureVector features;
+
+  /// Flight-recorder dump (oldest VM exit first), captured automatically
+  /// when the outcome is SDC / crash class and a flight recorder is
+  /// attached (obs::Options::flight_recorder).  Postmortem payload only:
+  /// excluded from the determinism digest, so records stay bit-identical
+  /// across telemetry modes.
+  std::vector<obs::FlightFrame> blackbox;
 };
+
+/// True for the outcomes whose anatomy the flight recorder preserves
+/// (Table 2-style postmortems: silent corruption and crash classes).
+constexpr bool is_blackbox_worthy(Consequence c) {
+  return c == Consequence::AppSdc || c == Consequence::AppCrash ||
+         c == Consequence::HypervisorCrash || c == Consequence::HypervisorHang;
+}
 
 }  // namespace xentry::fault

@@ -1,6 +1,7 @@
 #include "hv/machine.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
@@ -410,6 +411,14 @@ RunResult Machine::run(const Activation& act, const RunOptions& opts) {
     throw std::invalid_argument("Machine::run: bad vcpu index");
   }
 
+  // Per-VM-exit span: named by the handler symbol (static storage), one
+  // lane per campaign shard.  A null recorder makes the span a no-op.
+  const bool tracing = telemetry_ != nullptr && telemetry_->trace != nullptr;
+  obs::TraceRecorder::Span span(
+      tracing ? telemetry_->trace : nullptr,
+      tracing ? handler_symbol(act.reason) : std::string_view{},
+      tracing ? telemetry_->tid : 0);
+
   // VM-exit side (hardware + exit stub): the exiting VCPU is by definition
   // running; make it current and ensure it is on the runqueue.
   const Addr vc = L::vcpu_addr(act.vcpu);
@@ -531,6 +540,23 @@ RunResult Machine::run(const Activation& act, const RunOptions& opts) {
                                       : sim::PerfSnapshot{};
   cpu_.set_trace(nullptr);
   cpu_.set_mask_tracking(true);
+
+  if (tracing) span.arg("steps", result.steps);
+  if (telemetry_ != nullptr && telemetry_->flight != nullptr) {
+    obs::FlightFrame frame;
+    frame.exit_code = act.reason.code();
+    frame.steps = result.steps;
+    frame.inst_retired = result.counters.inst_retired;
+    frame.branches = result.counters.branches;
+    frame.loads = result.counters.loads;
+    frame.stores = result.counters.stores;
+    frame.source = telemetry_->flight_source;
+    frame.reached_vm_entry = result.reached_vm_entry;
+    frame.trap_kind = static_cast<std::uint8_t>(result.trap.kind);
+    frame.trap_aux = result.trap.aux;
+    frame.trap_addr = result.trap.fault_addr;
+    telemetry_->flight->append(frame);
+  }
   return result;
 }
 
@@ -540,12 +566,40 @@ Machine::Snapshot Machine::snapshot() const {
   return snap;
 }
 
+namespace {
+
+/// Nanoseconds since an arbitrary epoch, for snapshot/restore timing.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 void Machine::snapshot_into(Snapshot& out) const {
+  if (telemetry_ != nullptr && telemetry_->snapshot_ns != nullptr &&
+      snapshot_calls_++ % kTimingSampleEvery == 0) {
+    const std::uint64_t t0 = now_ns();
+    mem_.snapshot_into(out.memory);
+    out.tsc = cpu_.tsc();
+    telemetry_->snapshot_ns->observe(now_ns() - t0);
+    return;
+  }
   mem_.snapshot_into(out.memory);
   out.tsc = cpu_.tsc();
 }
 
 void Machine::restore(const Snapshot& snap) {
+  if (telemetry_ != nullptr && telemetry_->restore_ns != nullptr &&
+      restore_calls_++ % kTimingSampleEvery == 0) {
+    const std::uint64_t t0 = now_ns();
+    mem_.restore(snap.memory);
+    cpu_.set_tsc(snap.tsc);
+    telemetry_->restore_ns->observe(now_ns() - t0);
+    return;
+  }
   mem_.restore(snap.memory);
   cpu_.set_tsc(snap.tsc);
 }

@@ -15,6 +15,7 @@
 #include "hv/exit_reason.hpp"
 #include "hv/layout.hpp"
 #include "hv/microvisor.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/cpu.hpp"
 #include "sim/memory.hpp"
 #include "sim/perf_counters.hpp"
@@ -126,6 +127,15 @@ class Machine {
   /// Feature names of Table I, in the order the detector consumes them.
   static const std::vector<std::string>& feature_names();
 
+  /// Attaches observability sinks (per-VM-exit trace spans, the flight
+  /// recorder ring, snapshot/restore timing histograms).  The bundle is
+  /// borrowed, not owned, and must outlive the machine's use; nullptr
+  /// (the default) disables all collection at the cost of one predicted
+  /// branch per VM exit / snapshot / restore.
+  void set_telemetry(const obs::MachineTelemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
  private:
   void map_regions();
   void init_boot_state();
@@ -138,6 +148,14 @@ class Machine {
   /// Handler entry addresses indexed by ExitReason::code(): avoids the
   /// per-activation string symbol lookup on the dispatch path.
   std::vector<sim::Addr> entry_cache_;
+  const obs::MachineTelemetry* telemetry_ = nullptr;
+  /// Snapshot/restore calls are timed 1-in-kTimingSampleEvery (a
+  /// deterministic call-count sample): the campaign snapshots/restores
+  /// several times per injection, and timing every call would cost more
+  /// clock reads than the rest of the metrics layer combined.
+  static constexpr std::uint32_t kTimingSampleEvery = 8;
+  mutable std::uint32_t snapshot_calls_ = 0;
+  std::uint32_t restore_calls_ = 0;
 };
 
 }  // namespace xentry::hv

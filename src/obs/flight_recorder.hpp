@@ -1,0 +1,83 @@
+// SDC flight recorder: a fixed-size ring of the last N VM exits.
+//
+// The paper's Table II dissects the ~400 injections that escaped
+// detection — an analysis that normally needs the campaign re-run with
+// ad-hoc printf.  The flight recorder keeps the anatomy of the recent
+// past at all times: every `hv::Machine::run` (when telemetry is
+// attached) appends one fixed-size frame — exit reason, dynamic length,
+// Table I counter deltas, trap info — and when an injection's outcome is
+// classified SDC / crash, the ring is dumped into the InjectionRecord's
+// `blackbox`, oldest frame first, so the postmortem ships with the
+// record.  Appending is a couple of stores into preallocated storage; no
+// allocation, no locks (one ring per machine, machines are shard-local).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xentry::obs {
+
+/// One VM exit, as seen from the machine that executed it.
+struct FlightFrame {
+  std::uint64_t seq = 0;        ///< monotonic per-recorder sequence number
+  std::int64_t exit_code = 0;   ///< ExitReason::code() (the VMER feature)
+  std::uint64_t steps = 0;      ///< dynamic instructions executed
+  std::uint64_t inst_retired = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint8_t source = 0;      ///< Machine id (campaign: 0 golden, 1 faulty)
+  bool reached_vm_entry = false;
+  std::uint8_t trap_kind = 0;   ///< sim::TrapKind, 0 == None
+  std::uint32_t trap_aux = 0;   ///< assertion id for AssertFailed
+  std::uint64_t trap_addr = 0;  ///< faulting address / rip
+
+  friend bool operator==(const FlightFrame&, const FlightFrame&) = default;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(int depth = 32)
+      : frames_(static_cast<std::size_t>(depth > 0 ? depth : 1)) {}
+
+  void append(const FlightFrame& frame) {
+    FlightFrame& slot = frames_[next_];
+    slot = frame;
+    slot.seq = seq_++;
+    next_ = next_ + 1 == frames_.size() ? 0 : next_ + 1;
+  }
+
+  /// Frames appended over the recorder's lifetime (>= size()).
+  std::uint64_t total_appended() const { return seq_; }
+  /// Frames currently held (<= depth).
+  std::size_t size() const {
+    return seq_ < frames_.size() ? static_cast<std::size_t>(seq_)
+                                 : frames_.size();
+  }
+  std::size_t depth() const { return frames_.size(); }
+
+  /// Copies the held frames into `out` (cleared first), oldest to newest.
+  void dump_into(std::vector<FlightFrame>& out) const {
+    out.clear();
+    const std::size_t n = size();
+    out.reserve(n);
+    // Oldest frame: `next_` when full, slot 0 otherwise.
+    std::size_t i = seq_ < frames_.size() ? 0 : next_;
+    for (std::size_t k = 0; k < n; ++k) {
+      out.push_back(frames_[i]);
+      i = i + 1 == frames_.size() ? 0 : i + 1;
+    }
+  }
+
+  void clear() {
+    next_ = 0;
+    seq_ = 0;
+  }
+
+ private:
+  std::vector<FlightFrame> frames_;
+  std::size_t next_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace xentry::obs

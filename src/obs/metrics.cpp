@@ -1,0 +1,132 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+
+namespace xentry::obs {
+
+namespace {
+
+/// map::operator[] with heterogeneous lookup (no temporary string on hit).
+template <typename Map>
+typename Map::mapped_type& find_or_create(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), typename Map::mapped_type{}).first;
+  }
+  return it->second;
+}
+
+template <typename Map>
+const typename Map::mapped_type* find_only(const Map& map,
+                                           std::string_view name) {
+  auto it = map.find(name);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_create(gauges_, name);
+}
+
+Log2Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return find_or_create(histograms_, name);
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_only(counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_only(gauges_, name);
+}
+
+const Log2Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  return find_only(histograms_, name);
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].merge_from(c);
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].merge_from(g);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].merge_from(h);
+  }
+}
+
+namespace {
+
+/// Metric names are identifiers by convention, but export must stay valid
+/// JSON for any name.
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(os, name);
+    os << ": " << c.value();
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(os, name);
+    os << ": " << g.value();
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_json_string(os, name);
+    os << ": {\"count\": " << h.count() << ", \"sum\": " << h.sum();
+    if (h.count() > 0) {
+      os << ", \"min\": " << h.min() << ", \"max\": " << h.max();
+    }
+    os << ", \"buckets\": {";
+    bool bfirst = true;
+    for (int i = 0; i < Log2Histogram::kNumBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      if (!bfirst) os << ", ";
+      bfirst = false;
+      os << '"' << Log2Histogram::bucket_lower_bound(i) << '"' << ": "
+         << h.bucket(i);
+    }
+    os << "}}";
+  }
+  os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+}  // namespace xentry::obs

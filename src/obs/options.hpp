@@ -1,0 +1,49 @@
+// Observability configuration.
+//
+// One Options struct gates every telemetry layer: the metrics registry
+// (counters / gauges / log2 histograms), the phase/span trace recorder
+// (Chrome trace-event JSON), and the per-machine SDC flight recorder.
+// Everything defaults to OFF, and every collection site in the hot path
+// reduces to a single well-predicted null-pointer or bool check when its
+// layer is disabled — the overhead contract (<= 2% disabled, <= 10%
+// fully enabled on the micro_campaign configuration) is enforced by
+// `bench/obs_overhead`.
+#pragma once
+
+#include <cstddef>
+
+namespace xentry::obs {
+
+struct Options {
+  /// Per-shard MetricsRegistry collection (detections per technique,
+  /// latency/handler-length histograms, snapshot/restore timings),
+  /// merged deterministically at campaign end.
+  bool metrics = false;
+  /// Structured span tracing of campaign phases and per-VM-exit spans,
+  /// exportable as Chrome trace-event JSON (Perfetto-loadable).
+  bool tracing = false;
+  /// Ring buffer of the last N VM exits per machine, dumped into the
+  /// InjectionRecord when an outcome is SDC / crash class.
+  bool flight_recorder = false;
+
+  /// Ring depth for the flight recorder (frames kept per machine).
+  int flight_recorder_depth = 32;
+  /// Hard cap on buffered trace events per recorder; events beyond the
+  /// cap are counted as dropped, never reallocated past it.
+  std::size_t trace_max_events = 1u << 20;
+
+  /// True when any collection layer is live.
+  constexpr bool any() const { return metrics || tracing || flight_recorder; }
+
+  /// Everything on, default sizing — the `obs_overhead` "fully enabled"
+  /// configuration.
+  static constexpr Options all() {
+    Options o;
+    o.metrics = true;
+    o.tracing = true;
+    o.flight_recorder = true;
+    return o;
+  }
+};
+
+}  // namespace xentry::obs

@@ -1,0 +1,133 @@
+// Structured span/event tracing, exported as Chrome trace-event JSON.
+//
+// Each shard owns a private TraceRecorder (no locks); all recorders of
+// one campaign share an epoch so their timestamps live on one timeline,
+// and the per-shard buffers are merged at campaign end with the shard
+// index as the Chrome `tid`.  The output of `write_chrome_json` loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Event names are stored as string_views and must have static storage
+// duration (string literals, handler symbols) — recording is then one
+// clock read per span edge plus one vector push, with a hard cap on
+// buffered events (`dropped()` counts the overflow, nothing reallocates
+// past the cap).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace xentry::obs {
+
+struct TraceEvent {
+  std::string_view name;      ///< static storage only
+  std::uint64_t ts_us = 0;    ///< microseconds since the recorder epoch
+  std::uint64_t dur_us = 0;   ///< span duration ('X' events)
+  std::int32_t tid = 0;       ///< Chrome thread lane (campaign shard index)
+  char phase = 'X';           ///< 'X' complete span, 'i' instant
+  std::string_view arg_name;  ///< optional single argument (static storage)
+  std::uint64_t arg_value = 0;
+};
+
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TraceRecorder(std::size_t max_events = 1u << 20)
+      : TraceRecorder(max_events, Clock::now()) {}
+  TraceRecorder(std::size_t max_events, Clock::time_point epoch)
+      : epoch_(epoch), max_events_(max_events) {}
+
+  Clock::time_point epoch() const { return epoch_; }
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              epoch_)
+            .count());
+  }
+
+  /// Records a complete ('X') span.  `arg_name` must be static storage.
+  void complete(std::string_view name, std::uint64_t ts_us,
+                std::uint64_t dur_us, std::int32_t tid,
+                std::string_view arg_name = {}, std::uint64_t arg_value = 0) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back({name, ts_us, dur_us, tid, 'X', arg_name, arg_value});
+  }
+
+  /// Records an instant ('i') event at the current time.
+  void instant(std::string_view name, std::int32_t tid,
+               std::string_view arg_name = {}, std::uint64_t arg_value = 0) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back({name, now_us(), 0, tid, 'i', arg_name, arg_value});
+  }
+
+  /// RAII span: captures the start on construction, records the complete
+  /// event on destruction (or on an explicit `end`).  A null recorder
+  /// makes the span a no-op, so call sites need no branching of their own.
+  class Span {
+   public:
+    Span(TraceRecorder* rec, std::string_view name, std::int32_t tid)
+        : rec_(rec), name_(name), tid_(tid) {
+      if (rec_ != nullptr) start_ = rec_->now_us();
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+
+    /// Attaches the span's single argument (static-storage name).
+    void arg(std::string_view name, std::uint64_t value) {
+      arg_name_ = name;
+      arg_value_ = value;
+    }
+
+    void end() {
+      if (rec_ == nullptr) return;
+      const std::uint64_t now = rec_->now_us();
+      rec_->complete(name_, start_, now - start_, tid_, arg_name_, arg_value_);
+      rec_ = nullptr;
+    }
+
+   private:
+    TraceRecorder* rec_;
+    std::string_view name_;
+    std::int32_t tid_;
+    std::uint64_t start_ = 0;
+    std::string_view arg_name_;
+    std::uint64_t arg_value_ = 0;
+  };
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t max_events() const { return max_events_; }
+
+  /// Moves `other`'s events onto the end of this buffer (shard merge;
+  /// call in shard order for deterministic event order).  The cap still
+  /// applies; overflow adds to dropped().
+  void merge_from(TraceRecorder&& other);
+
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], ...}.  Includes
+  /// thread_name metadata per distinct tid so Perfetto lanes read as
+  /// "shard N".
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  Clock::time_point epoch_;
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace xentry::obs

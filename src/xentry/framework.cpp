@@ -13,6 +13,22 @@ std::string_view technique_name(Technique t) {
   return "?";
 }
 
+void Xentry::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr || !cfg_.obs.metrics) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.observations = &registry->counter("xentry.observations");
+  for (int t = 1; t < kNumTechniques; ++t) {
+    std::string name = "xentry.detections.";
+    name += technique_name(static_cast<Technique>(t));
+    metrics_.detections[t] = &registry->counter(name);
+  }
+  metrics_.handler_length = &registry->histogram("xentry.handler_length");
+  metrics_.detection_latency =
+      &registry->histogram("xentry.detection_latency");
+}
+
 Observation Xentry::observe(hv::Machine& machine,
                             const hv::Activation& activation,
                             hv::RunOptions opts) {
@@ -20,6 +36,11 @@ Observation Xentry::observe(hv::Machine& machine,
   Observation obs;
   obs.run = machine.run(activation, opts);
   obs.features = FeatureVector::from(activation.reason, obs.run.counters);
+
+  if (metrics_.observations != nullptr) {
+    metrics_.observations->inc();
+    metrics_.handler_length->observe(obs.run.steps);
+  }
 
   if (!obs.run.reached_vm_entry) {
     // Host-mode trap: runtime detection territory.
@@ -40,6 +61,7 @@ Observation Xentry::observe(hv::Machine& machine,
         obs.detection_step = obs.run.trap_step;
       }
     }
+    record_detection_metrics(obs);
     return obs;
   }
 
@@ -50,7 +72,20 @@ Observation Xentry::observe(hv::Machine& machine,
     obs.technique = Technique::VmTransition;
     obs.detection_step = obs.run.steps;
   }
+  record_detection_metrics(obs);
   return obs;
+}
+
+void Xentry::record_detection_metrics(const Observation& obs) {
+  if (metrics_.observations == nullptr || !obs.detected) return;
+  obs::Counter* c = metrics_.detections[static_cast<int>(obs.technique)];
+  if (c != nullptr) c->inc();
+  // Activation-to-detection latency, the paper's Fig. 9/10 quantity.
+  // Only meaningful when the fault bookkeeping saw an activation.
+  if (obs.run.activated && obs.detection_step >= obs.run.activation_step) {
+    metrics_.detection_latency->observe(obs.detection_step -
+                                        obs.run.activation_step);
+  }
 }
 
 }  // namespace xentry

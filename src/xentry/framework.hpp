@@ -13,6 +13,8 @@
 #include <cstdint>
 
 #include "hv/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/options.hpp"
 #include "xentry/assertions.hpp"
 #include "xentry/exception_parser.hpp"
 #include "xentry/features.hpp"
@@ -30,6 +32,8 @@ enum class Technique : std::uint8_t {
   StackRedundancy,
 };
 
+inline constexpr int kNumTechniques = 5;
+
 std::string_view technique_name(Technique t);
 
 struct XentryConfig {
@@ -40,6 +44,10 @@ struct XentryConfig {
   /// VM transition detection at every VM entry (needs a trained model).
   bool transition_detection = true;
   ExceptionParser::Policy exception_policy{};
+  /// Observability gates for the framework layer (detections per
+  /// technique, handler-length and detection-latency histograms).
+  /// Collection additionally needs a registry via Xentry::set_metrics.
+  obs::Options obs{};
 };
 
 struct Observation {
@@ -67,6 +75,13 @@ class Xentry {
   /// Installs the trained classification model (flattened rules).
   void set_model(ml::RuleSet rules) { detector_.set_model(std::move(rules)); }
 
+  /// Points framework-level metrics at a registry (shard-local; the
+  /// caller owns it and must keep it alive).  Handles are resolved once
+  /// here so observe() bumps plain cells — no name lookups on the hot
+  /// path.  Only active when config().obs.metrics is also set; nullptr
+  /// detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Runs one activation under full Xentry interception and classifies
   /// the outcome.  Counter arming follows the config: transition
   /// detection needs the counters; runtime detection alone does not.
@@ -74,10 +89,22 @@ class Xentry {
                       hv::RunOptions opts = {});
 
  private:
+  void record_detection_metrics(const Observation& obs);
+
+  /// Pre-resolved metric handles (see set_metrics).  `observations` is
+  /// the liveness gate: nullptr means metrics are off.
+  struct MetricHandles {
+    obs::Counter* observations = nullptr;
+    obs::Counter* detections[kNumTechniques] = {};
+    obs::Log2Histogram* handler_length = nullptr;
+    obs::Log2Histogram* detection_latency = nullptr;
+  };
+
   XentryConfig cfg_;
   ExceptionParser parser_;
   AssertionRegistry registry_;
   TransitionDetector detector_;
+  MetricHandles metrics_{};
 };
 
 }  // namespace xentry

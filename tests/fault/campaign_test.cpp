@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <mutex>
+
 #include "fault/stats.hpp"
 #include "fault/training.hpp"
 
@@ -29,6 +32,7 @@ TEST(CampaignTest, RunsRequestedInjectionsAcrossShards) {
   cfg.injections = 200;
   cfg.seed = 7;
   cfg.shards = 4;
+  cfg.xentry.transition_detection = false;  // no model installed
   auto res = run_campaign(cfg);
   EXPECT_EQ(res.records.size(), 200u);
 }
@@ -38,6 +42,7 @@ TEST(CampaignTest, DeterministicForFixedSeedAndShards) {
   cfg.injections = 120;
   cfg.seed = 11;
   cfg.shards = 3;
+  cfg.xentry.transition_detection = false;  // no model installed
   auto a = run_campaign(cfg);
   auto b = run_campaign(cfg);
   ASSERT_EQ(a.records.size(), b.records.size());
@@ -98,6 +103,7 @@ TEST(CampaignTest, ManifestationRateMatchesPaperBand) {
   CampaignConfig cfg;
   cfg.injections = 4000;
   cfg.seed = 42;
+  cfg.xentry.transition_detection = false;  // no model installed
   auto res = run_campaign(cfg);
   std::size_t manifested = 0;
   for (const auto& r : res.records) {
@@ -107,6 +113,225 @@ TEST(CampaignTest, ManifestationRateMatchesPaperBand) {
       static_cast<double>(manifested) / static_cast<double>(res.records.size());
   EXPECT_GT(rate, 0.40);
   EXPECT_LT(rate, 0.70);
+}
+
+TEST(CampaignTest, RecordsBitIdenticalAcrossTelemetryModes) {
+  // The observability contract: telemetry must observe the campaign, not
+  // perturb it.  Fully-on and fully-off runs of the same (seed, shards)
+  // must agree field-by-field on every record.
+  CampaignConfig base;
+  base.injections = 250;
+  base.seed = 13;
+  base.shards = 2;
+  base.xentry.transition_detection = false;  // no model installed
+  CampaignConfig on = base;
+  on.obs = obs::Options::all();
+  const auto a = run_campaign(base);
+  const auto b = run_campaign(on);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_TRUE(records_identical(a.records[i], b.records[i]))
+        << "record " << i << " differs between telemetry modes";
+  }
+  // The off run collects nothing; the on run collects everything.
+  EXPECT_TRUE(a.metrics.empty());
+  EXPECT_TRUE(a.trace.events().empty());
+  EXPECT_FALSE(b.metrics.empty());
+  EXPECT_FALSE(b.trace.events().empty());
+}
+
+TEST(CampaignTest, ValidateRejectsBadConfigs) {
+  const auto valid = [] {
+    CampaignConfig c;
+    c.xentry.transition_detection = false;
+    return c;
+  };
+  EXPECT_NO_THROW(validate_campaign_config(valid()));
+
+  CampaignConfig c = valid();
+  c.injections = -1;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+  EXPECT_THROW(run_campaign(c), std::invalid_argument);  // checked up front
+
+  c = valid();
+  c.activation_bias = 1.5;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+  c.activation_bias = -0.1;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+  c.activation_bias = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+
+  c = valid();
+  c.warmup_activations = -1;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+
+  c = valid();
+  c.stream_gap = -3;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+
+  c = valid();
+  c.shards = -2;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+
+  c = valid();
+  c.obs.flight_recorder = true;
+  c.obs.flight_recorder_depth = 0;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+
+  c = valid();
+  c.obs.tracing = true;
+  c.obs.trace_max_events = 0;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+
+  c = valid();
+  c.heartbeat.interval_sec = 1.0;  // interval without a callback
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+
+  c = valid();
+  c.heartbeat.interval_sec = -1.0;
+  c.heartbeat.callback = [](const HeartbeatSample&) {};
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+
+  // Transition detection with no model AND no dataset collection would
+  // silently detect nothing; training configs (collect_dataset) are the
+  // legitimate exception.
+  c = valid();
+  c.xentry.transition_detection = true;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+  c.collect_dataset = true;
+  EXPECT_NO_THROW(validate_campaign_config(c));
+}
+
+TEST(CampaignTest, HeartbeatFiresAndFinalSampleIsExact) {
+  CampaignConfig cfg;
+  cfg.injections = 400;
+  cfg.seed = 7;
+  cfg.shards = 2;
+  cfg.xentry.transition_detection = false;  // no model installed
+  std::mutex mu;
+  std::vector<HeartbeatSample> samples;
+  cfg.heartbeat.interval_sec = 0.002;
+  cfg.heartbeat.callback = [&](const HeartbeatSample& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    samples.push_back(s);
+  };
+  const auto res = run_campaign(cfg);
+
+  // run_campaign joins the monitor before returning; no lock needed now.
+  ASSERT_FALSE(samples.empty());
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    EXPECT_FALSE(samples[i].last) << "sample " << i;
+    EXPECT_LE(samples[i].completed, samples[i].total);
+  }
+  const HeartbeatSample& fin = samples.back();
+  EXPECT_TRUE(fin.last);
+  EXPECT_EQ(fin.total, 400u);
+  EXPECT_EQ(fin.completed, res.records.size());
+  EXPECT_GT(fin.elapsed_sec, 0.0);
+  std::uint64_t detected = 0;
+  std::array<std::uint64_t, kNumTechniques> by_technique{};
+  for (const auto& r : res.records) {
+    detected += r.detected;
+    if (r.detected) ++by_technique[static_cast<int>(r.technique)];
+  }
+  EXPECT_EQ(fin.detected_total, detected);
+  EXPECT_EQ(fin.detected_by_technique, by_technique);
+}
+
+TEST(CampaignTest, FlightRecorderPopulatesBlackboxOnSdcAndCrash) {
+  CampaignConfig cfg;
+  cfg.injections = 600;
+  cfg.seed = 9;
+  cfg.shards = 2;
+  cfg.xentry.transition_detection = false;  // no model installed
+  cfg.obs.flight_recorder = true;
+  cfg.obs.flight_recorder_depth = 8;
+  const auto res = run_campaign(cfg);
+  std::size_t worthy = 0;
+  for (const auto& r : res.records) {
+    if (is_blackbox_worthy(r.consequence)) {
+      ++worthy;
+      EXPECT_FALSE(r.blackbox.empty());
+      EXPECT_LE(r.blackbox.size(), 8u);
+      for (std::size_t i = 1; i < r.blackbox.size(); ++i) {
+        EXPECT_EQ(r.blackbox[i].seq, r.blackbox[i - 1].seq + 1)
+            << "frames must be consecutive, oldest first";
+      }
+    } else {
+      EXPECT_TRUE(r.blackbox.empty());
+    }
+  }
+  ASSERT_GT(worthy, 0u) << "campaign produced no SDC/crash outcomes to dump";
+
+  // With the recorder off, no record carries a postmortem.
+  cfg.obs = {};
+  const auto off = run_campaign(cfg);
+  for (const auto& r : off.records) EXPECT_TRUE(r.blackbox.empty());
+}
+
+TEST(CampaignTest, MetricsMatchRecordStream) {
+  CampaignConfig cfg;
+  cfg.injections = 500;
+  cfg.seed = 21;
+  cfg.shards = 2;
+  cfg.xentry.transition_detection = false;  // no model installed
+  cfg.obs.metrics = true;
+  const auto res = run_campaign(cfg);
+
+  std::uint64_t activated = 0, manifested = 0, detected = 0;
+  for (const auto& r : res.records) {
+    activated += r.activated;
+    manifested += is_manifested(r.consequence);
+    detected += r.detected;
+  }
+  ASSERT_NE(res.metrics.find_counter("campaign.injections"), nullptr);
+  EXPECT_EQ(res.metrics.find_counter("campaign.injections")->value(), 500u);
+  EXPECT_EQ(res.metrics.find_counter("campaign.activated")->value(), activated);
+  EXPECT_EQ(res.metrics.find_counter("campaign.manifested")->value(),
+            manifested);
+  EXPECT_EQ(res.metrics.find_counter("campaign.detected")->value(), detected);
+  ASSERT_NE(res.metrics.find_gauge("campaign.shards"), nullptr);
+  EXPECT_EQ(res.metrics.find_gauge("campaign.shards")->value(), 2);
+  EXPECT_GT(res.metrics.find_gauge("campaign.elapsed_us")->value(), 0);
+
+  // The machine-level histograms saw traffic (sampled 1-in-N, but a
+  // 500-injection campaign snapshots far more often than N).
+  ASSERT_NE(res.metrics.find_histogram("machine.snapshot_ns"), nullptr);
+  EXPECT_GT(res.metrics.find_histogram("machine.snapshot_ns")->count(), 0u);
+  ASSERT_NE(res.metrics.find_histogram("xentry.handler_length"), nullptr);
+  EXPECT_GT(res.metrics.find_histogram("xentry.handler_length")->count(), 0u);
+
+  // Every detection technique seen in the records has a live counter.
+  for (const auto& r : res.records) {
+    if (!r.detected) continue;
+    std::string name = "xentry.detections.";
+    name += technique_name(r.technique);
+    const obs::Counter* c = res.metrics.find_counter(name);
+    ASSERT_NE(c, nullptr) << name;
+    EXPECT_GT(c->value(), 0u) << name;
+  }
+}
+
+TEST(CampaignTest, TraceCoversCampaignPhases) {
+  CampaignConfig cfg;
+  cfg.injections = 120;
+  cfg.seed = 3;
+  cfg.shards = 2;
+  cfg.xentry.transition_detection = false;  // no model installed
+  cfg.obs.tracing = true;
+  const auto res = run_campaign(cfg);
+  bool saw_warmup = false, saw_probe = false, saw_faulted = false;
+  for (const auto& ev : res.trace.events()) {
+    EXPECT_GE(ev.tid, 0);
+    EXPECT_LT(ev.tid, 2);
+    if (ev.name == "phase:warmup") saw_warmup = true;
+    if (ev.name == "phase:golden_probe") saw_probe = true;
+    if (ev.name == "phase:faulted_run") saw_faulted = true;
+  }
+  EXPECT_TRUE(saw_warmup);
+  EXPECT_TRUE(saw_probe);
+  EXPECT_TRUE(saw_faulted);
+  EXPECT_EQ(res.trace.dropped(), 0u);
 }
 
 TEST(CampaignTest, UniformSweepCoversAllReasons) {

@@ -14,6 +14,7 @@ std::vector<InjectionRecord> sample_records() {
   cfg.injections = 300;
   cfg.seed = 9;
   cfg.shards = 2;
+  cfg.xentry.transition_detection = false;  // no model installed
   return run_campaign(cfg).records;
 }
 

@@ -1,0 +1,126 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace xentry::obs {
+namespace {
+
+FlightFrame frame(std::int64_t exit_code) {
+  FlightFrame f;
+  f.exit_code = exit_code;
+  f.steps = static_cast<std::uint64_t>(exit_code) * 10;
+  return f;
+}
+
+TEST(FlightRecorderTest, EmptyRecorderDumpsNothing) {
+  FlightRecorder rec(4);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_appended(), 0u);
+  std::vector<FlightFrame> out{frame(99)};  // must be cleared
+  rec.dump_into(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FlightRecorderTest, PartiallyFilledDumpsInAppendOrder) {
+  FlightRecorder rec(4);
+  rec.append(frame(1));
+  rec.append(frame(2));
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.total_appended(), 2u);
+  std::vector<FlightFrame> out;
+  rec.dump_into(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].exit_code, 1);
+  EXPECT_EQ(out[1].exit_code, 2);
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[1].seq, 1u);
+}
+
+/// The satellite's ring-wraparound case: append depth+k frames, the dump
+/// holds exactly the last `depth` of them, oldest first, with monotonic
+/// sequence numbers that account for the evicted frames.
+TEST(FlightRecorderTest, WraparoundKeepsLastDepthFramesOldestFirst) {
+  FlightRecorder rec(4);
+  for (int i = 1; i <= 10; ++i) rec.append(frame(i));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.depth(), 4u);
+  EXPECT_EQ(rec.total_appended(), 10u);
+  std::vector<FlightFrame> out;
+  rec.dump_into(out);
+  ASSERT_EQ(out.size(), 4u);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(out[k].exit_code, 7 + k) << "k=" << k;
+    EXPECT_EQ(out[k].seq, static_cast<std::uint64_t>(6 + k)) << "k=" << k;
+  }
+}
+
+TEST(FlightRecorderTest, ExactlyFullBoundary) {
+  FlightRecorder rec(3);
+  for (int i = 1; i <= 3; ++i) rec.append(frame(i));
+  std::vector<FlightFrame> out;
+  rec.dump_into(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].exit_code, 1);
+  EXPECT_EQ(out[2].exit_code, 3);
+  // One more append evicts exactly the oldest.
+  rec.append(frame(4));
+  rec.dump_into(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].exit_code, 2);
+  EXPECT_EQ(out[2].exit_code, 4);
+}
+
+TEST(FlightRecorderTest, ClearResetsRing) {
+  FlightRecorder rec(2);
+  rec.append(frame(1));
+  rec.append(frame(2));
+  rec.append(frame(3));
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_appended(), 0u);
+  rec.append(frame(9));
+  std::vector<FlightFrame> out;
+  rec.dump_into(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].exit_code, 9);
+  EXPECT_EQ(out[0].seq, 0u);
+}
+
+TEST(FlightRecorderTest, DegenerateDepthClampsToOne) {
+  FlightRecorder rec(0);
+  EXPECT_EQ(rec.depth(), 1u);
+  rec.append(frame(1));
+  rec.append(frame(2));
+  std::vector<FlightFrame> out;
+  rec.dump_into(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].exit_code, 2);
+}
+
+TEST(FlightRecorderTest, FramePayloadRoundTrips) {
+  FlightRecorder rec(2);
+  FlightFrame f;
+  f.exit_code = 5;
+  f.steps = 123;
+  f.inst_retired = 120;
+  f.branches = 17;
+  f.loads = 40;
+  f.stores = 22;
+  f.source = 1;
+  f.reached_vm_entry = false;
+  f.trap_kind = 3;
+  f.trap_aux = 77;
+  f.trap_addr = 0xdeadbeef;
+  rec.append(f);
+  std::vector<FlightFrame> out;
+  rec.dump_into(out);
+  ASSERT_EQ(out.size(), 1u);
+  f.seq = 0;  // append assigns the sequence number
+  EXPECT_EQ(out[0], f);
+}
+
+}  // namespace
+}  // namespace xentry::obs

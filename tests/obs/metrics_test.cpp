@@ -1,0 +1,168 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace xentry::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndMerge) {
+  Counter a, b;
+  a.inc();
+  a.inc(41);
+  b.inc(8);
+  EXPECT_EQ(a.value(), 42u);
+  a.merge_from(b);
+  EXPECT_EQ(a.value(), 50u);
+}
+
+TEST(GaugeTest, SetOverwritesAndMergeSums) {
+  Gauge g, h;
+  g.set(3);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  h.set(10);
+  g.merge_from(h);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(Log2HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly 0; bucket i holds [2^(i-1), 2^i - 1].
+  Log2Histogram h;
+  h.observe(0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  h.observe(1);
+  EXPECT_EQ(h.bucket(1), 1u);
+  h.observe(2);
+  h.observe(3);
+  EXPECT_EQ(h.bucket(2), 2u);
+  h.observe(4);
+  h.observe(7);
+  EXPECT_EQ(h.bucket(3), 2u);
+  h.observe(8);
+  EXPECT_EQ(h.bucket(4), 1u);
+  h.observe(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.bucket(64), 1u);
+
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::uint64_t>::max());
+
+  // The static bounds agree with where observe actually lands values.
+  EXPECT_EQ(Log2Histogram::bucket_lower_bound(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_upper_bound(0), 0u);
+  for (int i = 1; i < Log2Histogram::kNumBuckets; ++i) {
+    Log2Histogram probe;
+    probe.observe(Log2Histogram::bucket_lower_bound(i));
+    probe.observe(Log2Histogram::bucket_upper_bound(i));
+    EXPECT_EQ(probe.bucket(i), 2u) << "bucket " << i;
+  }
+}
+
+TEST(Log2HistogramTest, MergePreservesMomentsAndExtremes) {
+  Log2Histogram a, b;
+  a.observe(5);
+  a.observe(100);
+  b.observe(3);
+  b.observe(70000);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 5u + 100u + 3u + 70000u);
+  EXPECT_EQ(a.min(), 3u);
+  EXPECT_EQ(a.max(), 70000u);
+  // Merging an empty histogram must not clobber min/max.
+  Log2Histogram empty;
+  a.merge_from(empty);
+  EXPECT_EQ(a.min(), 3u);
+  EXPECT_EQ(a.max(), 70000u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAcrossInsertions) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a");
+  // Force rebalancing-ish churn; node-based storage keeps &c valid.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("name_" + std::to_string(i));
+  }
+  c.inc(7);
+  EXPECT_EQ(reg.find_counter("a")->value(), 7u);
+  EXPECT_EQ(&reg.counter("a"), &c);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+}
+
+std::string registry_json(const MetricsRegistry& reg) {
+  std::ostringstream os;
+  reg.write_json(os);
+  return os.str();
+}
+
+/// The determinism contract: distributing one observation stream over K
+/// shard registries and merging in shard order yields byte-identical
+/// exports for any K.  Mirrors how run_campaign merges per-shard metrics.
+TEST(MetricsRegistryTest, MergeDeterministicAcrossShardCounts) {
+  // A synthetic observation stream with enough spread to hit many
+  // buckets; derived deterministically from the index.
+  struct Obs {
+    std::uint64_t histogram_value;
+    bool bump_counter;
+  };
+  std::vector<Obs> stream;
+  std::uint64_t x = 0x2545f4914f6cdd1dull;
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    stream.push_back({x >> (x % 50), (x & 3) == 0});
+  }
+
+  std::string baseline;
+  for (int shards : {1, 2, 7}) {
+    std::vector<MetricsRegistry> regs(static_cast<std::size_t>(shards));
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      MetricsRegistry& reg = regs[i % static_cast<std::size_t>(shards)];
+      reg.histogram("h").observe(stream[i].histogram_value);
+      if (stream[i].bump_counter) reg.counter("c").inc();
+      reg.gauge("g").set(1);  // per-shard contribution; merged = shard count
+    }
+    MetricsRegistry merged;
+    for (const MetricsRegistry& reg : regs) merged.merge_from(reg);
+    // Gauges sum across shards by design, so normalize before comparing.
+    merged.gauge("g").set(1);
+    const std::string json = registry_json(merged);
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "shards=" << shards;
+    }
+  }
+  EXPECT_NE(baseline.find("\"counters\""), std::string::npos);
+  EXPECT_NE(baseline.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonIsSortedAndEscaped) {
+  MetricsRegistry reg;
+  reg.counter("zeta").inc();
+  reg.counter("alpha").inc(2);
+  reg.counter("quote\"key").inc(3);
+  const std::string json = registry_json(reg);
+  EXPECT_LT(json.find("alpha"), json.find("zeta"));
+  EXPECT_NE(json.find("quote\\\"key"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, MergeAdoptsMetricsAbsentOnOneSide) {
+  MetricsRegistry a, b;
+  a.counter("only_a").inc(1);
+  b.counter("only_b").inc(2);
+  b.histogram("h").observe(9);
+  a.merge_from(b);
+  EXPECT_EQ(a.find_counter("only_a")->value(), 1u);
+  EXPECT_EQ(a.find_counter("only_b")->value(), 2u);
+  EXPECT_EQ(a.find_histogram("h")->count(), 1u);
+}
+
+}  // namespace
+}  // namespace xentry::obs

@@ -1,0 +1,319 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace xentry::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON reader, just enough to schema-check the
+// Chrome trace output without external dependencies.  Numbers are parsed as
+// doubles (trace values are small integers, exactly representable).
+// ---------------------------------------------------------------------------
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v;
+
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(v);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  const JsonObject& obj() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  const JsonArray& arr() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  const std::string& str() const { return std::get<std::string>(v); }
+  double num() const { return std::get<double>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing data");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return {parse_string()};
+      case 't': literal("true"); return {true};
+      case 'f': literal("false"); return {false};
+      case 'n': literal("null"); return {nullptr};
+      default: return {number()};
+    }
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_++] != *p) {
+        throw std::runtime_error("bad literal");
+      }
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    if (peek() == '}') {
+      ++pos_;
+      return {obj};
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      (*obj)[key] = value();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return {obj};
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    if (peek() == ']') {
+      ++pos_;
+      return {arr};
+    }
+    while (true) {
+      arr->push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return {arr};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            out += "\\u" + text_.substr(pos_, 4);  // keep escaped; ASCII-only
+            pos_ += 4;
+            break;
+          default: throw std::runtime_error("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    throw std::runtime_error("unterminated string");
+  }
+
+  double number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string chrome_json(const TraceRecorder& rec) {
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorderTest, SpanRecordsCompleteEvent) {
+  TraceRecorder rec;
+  {
+    TraceRecorder::Span span(&rec, "phase:test", 3);
+    span.arg("at_step", 42);
+  }
+  ASSERT_EQ(rec.events().size(), 1u);
+  const TraceEvent& ev = rec.events()[0];
+  EXPECT_EQ(ev.name, "phase:test");
+  EXPECT_EQ(ev.phase, 'X');
+  EXPECT_EQ(ev.tid, 3);
+  EXPECT_EQ(ev.arg_name, "at_step");
+  EXPECT_EQ(ev.arg_value, 42u);
+}
+
+TEST(TraceRecorderTest, NullRecorderSpanIsNoOp) {
+  TraceRecorder::Span span(nullptr, "ghost", 0);
+  span.arg("x", 1);
+  span.end();  // must not crash
+}
+
+TEST(TraceRecorderTest, CapDropsExcessAndCounts) {
+  TraceRecorder rec(2);
+  rec.instant("a", 0);
+  rec.instant("b", 0);
+  rec.instant("c", 0);
+  rec.complete("d", 0, 1, 0);
+  EXPECT_EQ(rec.events().size(), 2u);
+  EXPECT_EQ(rec.dropped(), 2u);
+}
+
+TEST(TraceRecorderTest, MergePreservesShardOrderAndCap) {
+  const TraceRecorder::Clock::time_point epoch = TraceRecorder::Clock::now();
+  TraceRecorder merged(3, epoch);
+  TraceRecorder shard0(8, epoch), shard1(8, epoch);
+  shard0.complete("s0_a", 1, 1, 0);
+  shard0.complete("s0_b", 2, 1, 0);
+  shard1.complete("s1_a", 1, 1, 1);
+  shard1.complete("s1_b", 2, 1, 1);
+  merged.merge_from(std::move(shard0));
+  merged.merge_from(std::move(shard1));
+  ASSERT_EQ(merged.events().size(), 3u);
+  EXPECT_EQ(merged.events()[0].name, "s0_a");
+  EXPECT_EQ(merged.events()[1].name, "s0_b");
+  EXPECT_EQ(merged.events()[2].name, "s1_a");
+  EXPECT_EQ(merged.dropped(), 1u);
+}
+
+/// The satellite's schema check: the export parses as JSON and has the
+/// Chrome trace-event structure Perfetto expects — a traceEvents array
+/// whose entries carry name/ph/pid/tid/ts (and dur for 'X'), plus one
+/// thread_name metadata record per distinct tid.
+TEST(TraceRecorderTest, ChromeJsonSchema) {
+  TraceRecorder rec;
+  rec.complete("phase:warmup", 10, 5, 0);
+  rec.complete("exit:hypercall_map", 20, 2, 1, "at_step", 7);
+  rec.instant("undetected_sdc", 0, "at_step", 99);
+
+  const JsonValue root = JsonParser(chrome_json(rec)).parse();
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root.obj().count("traceEvents"));
+  ASSERT_TRUE(root.obj().count("displayTimeUnit"));
+
+  int metadata_events = 0, span_events = 0, instant_events = 0;
+  const JsonArray& events = root.obj().at("traceEvents").arr();
+  for (const JsonValue& ev : events) {
+    ASSERT_TRUE(ev.is_object());
+    const JsonObject& obj = ev.obj();
+    ASSERT_TRUE(obj.count("name"));
+    ASSERT_TRUE(obj.count("ph"));
+    ASSERT_TRUE(obj.count("pid"));
+    ASSERT_TRUE(obj.count("tid"));
+    EXPECT_TRUE(obj.at("name").is_string());
+    EXPECT_TRUE(obj.at("pid").is_number());
+    EXPECT_TRUE(obj.at("tid").is_number());
+    const std::string& ph = obj.at("ph").str();
+    if (ph == "M") {
+      ++metadata_events;
+      EXPECT_EQ(obj.at("name").str(), "thread_name");
+      ASSERT_TRUE(obj.count("args"));
+      const JsonObject& args = obj.at("args").obj();
+      ASSERT_TRUE(args.count("name"));
+      EXPECT_EQ(args.at("name").str().rfind("shard ", 0), 0u);
+    } else if (ph == "X") {
+      ++span_events;
+      ASSERT_TRUE(obj.count("ts"));
+      ASSERT_TRUE(obj.count("dur"));
+      EXPECT_TRUE(obj.at("ts").is_number());
+      EXPECT_TRUE(obj.at("dur").is_number());
+    } else if (ph == "i") {
+      ++instant_events;
+      ASSERT_TRUE(obj.count("ts"));
+      ASSERT_TRUE(obj.count("s"));  // instant scope
+    } else {
+      FAIL() << "unexpected phase: " << ph;
+    }
+  }
+  EXPECT_EQ(metadata_events, 2);  // tids 0 and 1
+  EXPECT_EQ(span_events, 2);
+  EXPECT_EQ(instant_events, 1);
+
+  // The span with an argument round-trips it.
+  bool found_arg = false;
+  for (const JsonValue& ev : events) {
+    const JsonObject& obj = ev.obj();
+    if (obj.at("name").is_string() &&
+        obj.at("name").str() == "exit:hypercall_map") {
+      ASSERT_TRUE(obj.count("args"));
+      EXPECT_EQ(obj.at("args").obj().at("at_step").num(), 7.0);
+      found_arg = true;
+    }
+  }
+  EXPECT_TRUE(found_arg);
+}
+
+TEST(TraceRecorderTest, ChromeJsonEmptyRecorderStillValid) {
+  TraceRecorder rec;
+  const JsonValue root = JsonParser(chrome_json(rec)).parse();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_TRUE(root.obj().at("traceEvents").is_array());
+  EXPECT_TRUE(root.obj().at("traceEvents").arr().empty());
+}
+
+}  // namespace
+}  // namespace xentry::obs
