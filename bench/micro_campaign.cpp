@@ -13,12 +13,20 @@
 // trajectory.  A fourth argument enables the campaign progress heartbeat
 // on stderr (stdout stays pure JSON).
 // Usage:  micro_campaign [injections] [shards] [seed] [heartbeat_sec]
+//                        [--metrics-out FILE] [--forensics-out FILE]
+//   --metrics-out    enable obs.metrics and write the merged registry JSON
+//   --forensics-out  enable obs.forensics and write the replay evidence
+//                    (one JSON object per qualifying record) as JSONL
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "fault/campaign.hpp"
+#include "fault/report.hpp"
 #include "fault/stats.hpp"
 #include "hv/machine.hpp"
 
@@ -36,6 +44,7 @@ struct CampaignScore {
   std::size_t records = 0;
   std::size_t manifested = 0;
   std::size_t detected = 0;
+  std::size_t forensics = 0;
   std::uint64_t digest = 0;
 };
 
@@ -44,21 +53,25 @@ struct CampaignScore {
 void print_heartbeat(const fault::HeartbeatSample& s) {
   std::fprintf(stderr,
                "[micro_campaign] %llu/%llu injections  %.0f inj/s "
-               "(recent %.0f)  detected %llu  elapsed %.1fs%s\n",
+               "(recent %.0f)  detected %llu  elapsed %.1fs  eta %.0fs%s\n",
                static_cast<unsigned long long>(s.completed),
                static_cast<unsigned long long>(s.total), s.injections_per_sec,
                s.recent_per_sec,
                static_cast<unsigned long long>(s.detected_total),
-               s.elapsed_sec, s.last ? "  [final]" : "");
+               s.elapsed_sec, s.eta_sec, s.last ? "  [final]" : "");
 }
 
 CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
-                            double heartbeat_sec) {
+                            double heartbeat_sec,
+                            const std::string& metrics_out,
+                            const std::string& forensics_out) {
   fault::CampaignConfig cfg;
   cfg.injections = injections;
   cfg.shards = shards;
   cfg.seed = seed;
   cfg.collect_dataset = true;
+  cfg.obs.metrics = !metrics_out.empty();
+  cfg.obs.forensics = !forensics_out.empty();
   if (heartbeat_sec > 0) {
     cfg.heartbeat.interval_sec = heartbeat_sec;
     cfg.heartbeat.callback = print_heartbeat;
@@ -71,8 +84,17 @@ CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
   for (const auto& r : res.records) {
     score.manifested += fault::is_manifested(r.consequence);
     score.detected += r.detected;
+    score.forensics += r.forensics.has_value();
   }
   score.digest = bench::records_digest(res.records);
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    res.metrics.write_json(os);
+  }
+  if (!forensics_out.empty()) {
+    std::ofstream os(forensics_out);
+    fault::write_forensics_jsonl(os, res.records);
+  }
   return score;
 }
 
@@ -125,14 +147,28 @@ SnapshotScore time_snapshot(double budget_sec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int injections = argc > 1 ? std::atoi(argv[1]) : 2000;
-  const int shards = argc > 2 ? std::atoi(argv[2]) : 1;
+  std::string metrics_out, forensics_out;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--forensics-out" && i + 1 < argc) {
+      forensics_out = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int injections =
+      positional.size() > 0 ? std::atoi(positional[0]) : 2000;
+  const int shards = positional.size() > 1 ? std::atoi(positional[1]) : 1;
   const std::uint64_t seed =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
-  const double heartbeat_sec = argc > 4 ? std::atof(argv[4]) : 0;
+      positional.size() > 2 ? std::strtoull(positional[2], nullptr, 10) : 7;
+  const double heartbeat_sec =
+      positional.size() > 3 ? std::atof(positional[3]) : 0;
 
-  const CampaignScore campaign =
-      time_campaign(injections, shards, seed, heartbeat_sec);
+  const CampaignScore campaign = time_campaign(
+      injections, shards, seed, heartbeat_sec, metrics_out, forensics_out);
   const GoldenScore golden = time_golden(1.0);
   const SnapshotScore snap = time_snapshot(1.0);
 
@@ -146,6 +182,7 @@ int main(int argc, char** argv) {
       "  \"records_digest\": \"%016llx\",\n"
       "  \"manifested\": %zu,\n"
       "  \"detected\": %zu,\n"
+      "  \"forensics_records\": %zu,\n"
       "  \"campaign_elapsed_sec\": %.4f,\n"
       "  \"injections_per_sec\": %.1f,\n"
       "  \"golden_steps_per_sec\": %.0f,\n"
@@ -154,7 +191,7 @@ int main(int argc, char** argv) {
       "}\n",
       injections, shards, static_cast<unsigned long long>(seed),
       campaign.records, static_cast<unsigned long long>(campaign.digest),
-      campaign.manifested, campaign.detected,
+      campaign.manifested, campaign.detected, campaign.forensics,
       campaign.elapsed,
       static_cast<double>(campaign.records) / campaign.elapsed,
       static_cast<double>(golden.steps) / golden.elapsed,

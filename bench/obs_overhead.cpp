@@ -1,8 +1,9 @@
 // Telemetry overhead bound + digest-equality check.
 //
-// Runs the same campaign (the micro_campaign configuration) under four
-// telemetry modes — two independent fully-off sets, metrics-only, and
-// fully on (metrics + tracing + flight recorder) — and asserts the
+// Runs the same campaign (the micro_campaign configuration) under five
+// telemetry modes — two independent fully-off sets, metrics-only, fully
+// on (metrics + tracing + flight recorder), and forensics (metrics +
+// lockstep replay) — and asserts the
 // observability contract.  Measurement discipline for noisy shared
 // hosts: rates are computed from process CPU time (immune to scheduler
 // steal), one untimed warmup campaign runs first, the mode order rotates
@@ -16,15 +17,21 @@
 //      baseline up to measurement noise — this bounds both the disabled
 //      path's cost and the noise floor the enabled bound is judged
 //      against;
-//   3. fully-on throughput is within `tol_enabled` of off.
+//   3. fully-on throughput is within `tol_enabled` of off;
+//   4. forensics-mode digests equal the off digests (the replay must not
+//      perturb the record stream) and its throughput stays within
+//      `tol_forensics` — a loose bound: forensics re-executes qualifying
+//      faulted windows on the reference engine, so its cost scales with
+//      the escape rate, not with hot-path instrumentation.
 //
 // Exit status is non-zero on any violation, so CI can run this as a
 // smoke test.  `--trace-out FILE` additionally writes the fully-on run's
 // Chrome trace-event JSON (load it at ui.perfetto.dev).
 //
 // Usage: obs_overhead [injections] [shards] [seed] [reps] [--trace-out F]
-//   tolerances:  XENTRY_OBS_TOL_DISABLED (default 0.02)
-//                XENTRY_OBS_TOL_ENABLED  (default 0.10)
+//   tolerances:  XENTRY_OBS_TOL_DISABLED  (default 0.02)
+//                XENTRY_OBS_TOL_ENABLED   (default 0.10)
+//                XENTRY_OBS_TOL_FORENSICS (default 0.35)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -87,7 +94,7 @@ double env_tol(const char* name, double fallback) {
 int main(int argc, char** argv) {
   // Default reps = mode count: with rotation, every mode then occupies
   // every within-rep slot exactly once.
-  int injections = 20000, shards = 1, reps = 4;
+  int injections = 20000, shards = 1, reps = 5;
   std::uint64_t seed = 7;
   std::string trace_out;
   int pos = 0;
@@ -105,14 +112,16 @@ int main(int argc, char** argv) {
   }
   const double tol_disabled = env_tol("XENTRY_OBS_TOL_DISABLED", 0.02);
   const double tol_enabled = env_tol("XENTRY_OBS_TOL_ENABLED", 0.10);
+  const double tol_forensics = env_tol("XENTRY_OBS_TOL_FORENSICS", 0.35);
 
   const Mode modes[] = {
       {"off", obs::Options{}},
       {"off2", obs::Options{}},
       {"metrics", {.metrics = true}},
       {"full", obs::Options::all()},
+      {"forensics", {.metrics = true, .forensics = true}},
   };
-  constexpr int kNumModes = 4;
+  constexpr int kNumModes = 5;
 
   // One untimed warmup (page cache, allocator, frequency boost), then
   // rotate the mode order every rep so drift hits every mode equally;
@@ -125,7 +134,7 @@ int main(int argc, char** argv) {
   for (int rep = 0; rep < reps; ++rep) {
     for (int mi = 0; mi < kNumModes; ++mi) {
       const int m = (mi + rep) % kNumModes;
-      const bool keep = m == kNumModes - 1;
+      const bool keep = m == 3;  // "full": the run --trace-out exports
       const RunScore s = run_once(injections, shards, seed, modes[m].obs,
                                   keep ? &full_result : nullptr);
       if (s.rate > best[m]) best[m] = s.rate;
@@ -150,8 +159,10 @@ int main(int argc, char** argv) {
       std::abs(1.0 - best[1] / best[0]);
   const double overhead_metrics = 1.0 - best[2] / best[0];
   const double overhead_enabled = 1.0 - best[3] / best[0];
+  const double overhead_forensics = 1.0 - best[4] / best[0];
   const bool disabled_ok = overhead_disabled <= tol_disabled;
   const bool enabled_ok = overhead_enabled <= tol_enabled;
+  const bool forensics_ok = overhead_forensics <= tol_forensics;
 
   std::printf(
       "{\n"
@@ -166,18 +177,22 @@ int main(int argc, char** argv) {
       "  \"rate_off2\": %.1f,\n"
       "  \"rate_metrics\": %.1f,\n"
       "  \"rate_full\": %.1f,\n"
+      "  \"rate_forensics\": %.1f,\n"
       "  \"overhead_disabled\": %.4f,\n"
       "  \"overhead_metrics\": %.4f,\n"
       "  \"overhead_full\": %.4f,\n"
+      "  \"overhead_forensics\": %.4f,\n"
       "  \"tol_disabled\": %.4f,\n"
       "  \"tol_enabled\": %.4f,\n"
+      "  \"tol_forensics\": %.4f,\n"
       "  \"bounds_ok\": %s\n"
       "}\n",
       injections, shards, static_cast<unsigned long long>(seed), reps,
       static_cast<unsigned long long>(digest), digests_ok ? "true" : "false",
-      best[0], best[1], best[2], best[3], overhead_disabled, overhead_metrics,
-      overhead_enabled, tol_disabled, tol_enabled,
-      disabled_ok && enabled_ok ? "true" : "false");
+      best[0], best[1], best[2], best[3], best[4], overhead_disabled,
+      overhead_metrics, overhead_enabled, overhead_forensics, tol_disabled,
+      tol_enabled, tol_forensics,
+      disabled_ok && enabled_ok && forensics_ok ? "true" : "false");
 
   if (!trace_out.empty()) {
     std::ofstream os(trace_out);
@@ -201,6 +216,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: enabled-telemetry overhead %.2f%% exceeds %.2f%%\n",
                  overhead_enabled * 100, tol_enabled * 100);
+    return 1;
+  }
+  if (!forensics_ok) {
+    std::fprintf(stderr,
+                 "FAIL: forensics overhead %.2f%% exceeds %.2f%%\n",
+                 overhead_forensics * 100, tol_forensics * 100);
     return 1;
   }
   return 0;

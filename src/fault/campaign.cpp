@@ -52,6 +52,25 @@ void validate_campaign_config(const CampaignConfig& cfg) {
     fail("obs.tracing enabled with trace_max_events == 0 (every event "
          "would be dropped)");
   }
+  if (cfg.obs.forensics) {
+    if (cfg.obs.forensics_chunk_steps <= 0) {
+      fail("obs.forensics enabled with non-positive forensics_chunk_steps " +
+           std::to_string(cfg.obs.forensics_chunk_steps));
+    }
+    if (cfg.obs.forensics_max_replay_steps == 0) {
+      fail("obs.forensics enabled with forensics_max_replay_steps == 0 (no "
+           "replay window)");
+    }
+    if (cfg.obs.forensics_max_taint_samples <= 0) {
+      fail("obs.forensics enabled with non-positive "
+           "forensics_max_taint_samples " +
+           std::to_string(cfg.obs.forensics_max_taint_samples));
+    }
+    if (cfg.obs.forensics_sample_every <= 0) {
+      fail("obs.forensics enabled with non-positive forensics_sample_every " +
+           std::to_string(cfg.obs.forensics_sample_every));
+    }
+  }
   if (cfg.heartbeat.interval_sec > 0 && !cfg.heartbeat.callback) {
     fail("heartbeat.interval_sec is set but no heartbeat.callback is "
          "installed");
@@ -89,6 +108,14 @@ struct CampaignMetricHandles {
   obs::Counter* detected = nullptr;
   obs::Counter* golden_steps = nullptr;
   obs::Counter* blackbox_dumps = nullptr;
+  // Forensics (null unless obs.forensics && obs.metrics).
+  obs::Counter* forensics_replays = nullptr;
+  obs::Counter* forensics_replay_steps = nullptr;
+  obs::Counter* forensics_mismatch = nullptr;
+  /// Indexed by UndetectedClass ordinal; NotApplicable (0) stays null.
+  std::array<obs::Counter*, 5> forensics_class{};
+  obs::Log2Histogram* forensics_latency = nullptr;
+  obs::Log2Histogram* forensics_taint = nullptr;
 };
 
 /// One shard's work: its own machines, generator, RNG, and telemetry.
@@ -146,6 +173,23 @@ CampaignResult run_shard(const CampaignConfig& cfg,
     cm.detected = &result.metrics.counter("campaign.detected");
     cm.golden_steps = &result.metrics.counter("campaign.golden_steps");
     cm.blackbox_dumps = &result.metrics.counter("campaign.blackbox_dumps");
+    if (oo.forensics) {
+      cm.forensics_replays = &result.metrics.counter("forensics.replays");
+      cm.forensics_replay_steps =
+          &result.metrics.counter("forensics.replay_steps");
+      cm.forensics_mismatch =
+          &result.metrics.counter("forensics.heuristic_mismatch");
+      for (int c = 1; c < 5; ++c) {
+        cm.forensics_class[static_cast<std::size_t>(c)] =
+            &result.metrics.counter(
+                "forensics.class." +
+                std::string(undetected_class_name(
+                    static_cast<UndetectedClass>(c))));
+      }
+      cm.forensics_latency =
+          &result.metrics.histogram("forensics.first_divergence_latency");
+      cm.forensics_taint = &result.metrics.histogram("forensics.taint_words");
+    }
   }
 
   XentryConfig xcfg = cfg.xentry;
@@ -155,6 +199,15 @@ CampaignResult run_shard(const CampaignConfig& cfg,
   if (oo.metrics) xentry.set_metrics(&result.metrics);
   InjectionExperiment experiment(golden, faulty, xentry, cfg.outcome);
   if (oo.flight_recorder) experiment.set_flight_recorder(&flight);
+  if (oo.forensics) {
+    InjectionExperiment::ForensicsConfig fc;
+    fc.enabled = true;
+    fc.params.chunk_steps = oo.forensics_chunk_steps;
+    fc.params.max_replay_steps = oo.forensics_max_replay_steps;
+    fc.params.max_taint_samples = oo.forensics_max_taint_samples;
+    fc.sample_every = oo.forensics_sample_every;
+    experiment.set_forensics(fc);
+  }
 
   const std::uint64_t shard_seed =
       cfg.seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(shard_index);
@@ -215,6 +268,24 @@ CampaignResult run_shard(const CampaignConfig& cfg,
       if (is_manifested(rec.consequence)) cm.manifested->inc();
       if (rec.detected) cm.detected->inc();
       if (!rec.blackbox.empty()) cm.blackbox_dumps->inc();
+      if (rec.forensics.has_value()) {
+        const obs::ForensicsRecord& fx = *rec.forensics;
+        if (cm.forensics_replays != nullptr) {
+          cm.forensics_replays->inc();
+          cm.forensics_replay_steps->inc(fx.replay_steps);
+          if (!fx.heuristic_agrees) cm.forensics_mismatch->inc();
+          if (fx.diverged) {
+            cm.forensics_latency->observe(fx.divergence.step - inj.at_step);
+            if (!fx.taint.empty()) {
+              cm.forensics_taint->observe(fx.taint.back().mem_words);
+            }
+          }
+          const auto cls = static_cast<std::size_t>(effective_undetected(rec));
+          if (cm.forensics_class[cls] != nullptr) {
+            cm.forensics_class[cls]->inc();
+          }
+        }
+      }
     }
     if (tr != nullptr && !rec.detected &&
         rec.consequence == Consequence::AppSdc) {
@@ -298,6 +369,13 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         s.recent_per_sec =
             dt > 0 ? static_cast<double>(s.completed - prev_completed) / dt
                    : 0.0;
+        // ETA from the freshest rate available: the recent window tracks
+        // load changes; the mean covers the first interval.
+        const double rate =
+            s.recent_per_sec > 0 ? s.recent_per_sec : s.injections_per_sec;
+        s.eta_sec = rate > 0 && s.total > s.completed
+                        ? static_cast<double>(s.total - s.completed) / rate
+                        : 0.0;
         prev_completed = s.completed;
         prev_t = now;
         cfg.heartbeat.callback(s);

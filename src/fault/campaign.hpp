@@ -35,6 +35,9 @@ struct HeartbeatSample {
   double elapsed_sec = 0;
   double injections_per_sec = 0;  ///< mean rate since campaign start
   double recent_per_sec = 0;      ///< rate since the previous heartbeat
+  /// Remaining-work estimate from the recent rate (mean rate when no
+  /// recent sample exists yet); 0 when done or the rate is unknown.
+  double eta_sec = 0;
   std::uint64_t detected_total = 0;
   /// Indexed by Technique; entry 0 (None) stays zero.
   std::array<std::uint64_t, kNumTechniques> detected_by_technique{};

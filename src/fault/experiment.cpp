@@ -177,7 +177,77 @@ InjectionExperiment::Result InjectionExperiment::run_faulted(
   if (flight_ != nullptr && is_blackbox_worthy(rec.consequence)) {
     flight_->dump_into(rec.blackbox);
   }
+
+  if (forensics_.enabled && needs_forensics(rec.consequence, rec.detected)) {
+    // SDC / app-crash outcomes always replay; the (cheaper to explain)
+    // undetected-escape residue can be thinned with sample_every.
+    const bool always = rec.consequence == Consequence::AppSdc ||
+                        rec.consequence == Consequence::AppCrash;
+    const bool sampled =
+        always || forensics_.sample_every <= 1 ||
+        (forensics_counter_++ % static_cast<std::uint64_t>(
+                                    forensics_.sample_every)) == 0;
+    if (sampled) run_forensics(rec, activation, injection, probe);
+  }
   return out;
+}
+
+void InjectionExperiment::run_forensics(InjectionRecord& rec,
+                                        const hv::Activation& activation,
+                                        const hv::Injection& injection,
+                                        const GoldenProbe& probe) {
+  // The replay dirties both machines.  The faulty machine is re-synced
+  // before every campaign use, but the golden machine's post-run state is
+  // load-bearing (the stream advances from it) — save and re-instate it.
+  golden_.snapshot_into(forensics_post_);
+  obs::ForensicsRecord fx = run_lockstep_forensics(
+      golden_, faulty_, activation, injection, probe.pre, forensics_.params);
+  golden_.restore(forensics_post_);
+
+  fx.heuristic = static_cast<std::uint8_t>(rec.undetected);
+  const UndetectedClass attributed =
+      rec.detected ? UndetectedClass::NotApplicable
+                   : attribute_from_evidence(fx, rec);
+  fx.attributed = static_cast<std::uint8_t>(attributed);
+  fx.heuristic_agrees = attributed == rec.undetected;
+  rec.forensics = std::move(fx);
+}
+
+UndetectedClass InjectionExperiment::attribute_from_evidence(
+    const obs::ForensicsRecord& fx, const InjectionRecord& rec) const {
+  // No replay evidence (window exhausted before propagation, or the clean
+  // replay disagreed with the faulted run): fall back to the heuristic
+  // rather than invent a class.
+  if (!fx.diverged || fx.taint.empty()) return rec.undetected;
+
+  // Mirrors the heuristic's precedence (time > stack > classifier-miss >
+  // other) so disagreements mean contradicting *evidence*, not ordering.
+  const obs::TaintSample& last = fx.taint.back();
+  if (last.persistent_words > 0 && last.time_words == last.persistent_words) {
+    return UndetectedClass::TimeValues;
+  }
+
+  bool stack_evidence =
+      rec.injection.reg == sim::Reg::rsp ||
+      (fx.divergence.in_register &&
+       fx.divergence.location ==
+           static_cast<std::uint64_t>(sim::Reg::rsp));
+  if (!fx.divergence.in_register) {
+    const sim::Addr a = static_cast<sim::Addr>(fx.divergence.location);
+    stack_evidence |=
+        (a >= L::kStackBase && a < L::kStackTop) ||
+        (a >= L::kStackBase + static_cast<sim::Addr>(L::kShadowStackOffset) &&
+         a < L::kStackTop + static_cast<sim::Addr>(L::kShadowStackOffset));
+  }
+  for (const obs::TaintSample& s : fx.taint) {
+    stack_evidence |= s.stack_words > 0;
+  }
+  if (stack_evidence) return UndetectedClass::StackValues;
+
+  if (rec.trace_diverged && xentry_.config().transition_detection) {
+    return UndetectedClass::MisClassified;
+  }
+  return UndetectedClass::OtherValues;
 }
 
 std::vector<hv::StateDiff> InjectionExperiment::consumed_diffs(

@@ -10,6 +10,7 @@
 
 #include <random>
 
+#include "fault/lockstep.hpp"
 #include "fault/outcome.hpp"
 #include "hv/machine.hpp"
 #include "ml/dataset.hpp"
@@ -120,6 +121,18 @@ class InjectionExperiment {
     flight_ = recorder;
   }
 
+  /// Lockstep-forensics policy for qualifying outcomes (needs_forensics):
+  /// SDC and app crashes always replay; undetected escapes replay 1-in-
+  /// `sample_every` (1 = all).  Off by default — replays re-execute the
+  /// faulted window on the reference engine and are not free.
+  struct ForensicsConfig {
+    bool enabled = false;
+    LockstepParams params{};
+    int sample_every = 1;
+  };
+
+  void set_forensics(const ForensicsConfig& cfg) { forensics_ = cfg; }
+
   /// Like measure_golden_steps but also captures the control-flow trace
   /// (for activated-biased injection draws).  Restores the golden machine
   /// to its pre-run state afterwards.
@@ -145,18 +158,25 @@ class InjectionExperiment {
   UndetectedClass classify_undetected(
       const InjectionRecord& rec, const std::vector<hv::StateDiff>& diffs,
       const std::vector<sim::Addr>& fault_trace) const;
+  void run_forensics(InjectionRecord& rec, const hv::Activation& activation,
+                     const hv::Injection& injection, const GoldenProbe& probe);
+  UndetectedClass attribute_from_evidence(const obs::ForensicsRecord& fx,
+                                          const InjectionRecord& rec) const;
 
   hv::Machine& golden_;
   hv::Machine& faulty_;
   Xentry& xentry_;
   OutcomeModel model_;
   const obs::FlightRecorder* flight_ = nullptr;
+  ForensicsConfig forensics_;
+  std::uint64_t forensics_counter_ = 0;  ///< escapes seen, for sample_every
   std::uint64_t last_golden_steps_ = 0;
 
   // Scratch buffers reused across injections (allocation hygiene: the
   // campaign loop must not reallocate traces/snapshots per run).
   GoldenProbe scratch_probe_;          ///< for the two-run run_one overload
   hv::Machine::Snapshot sync_snap_;    ///< for advance()/measure_golden_steps
+  hv::Machine::Snapshot forensics_post_;  ///< golden post-state across replay
   std::vector<sim::Addr> fault_trace_; ///< faulted run's control-flow trace
 };
 

@@ -15,6 +15,21 @@ std::string_view consequence_name(Consequence c) {
   return "?";
 }
 
+std::optional<Consequence> consequence_from_name(std::string_view name) {
+  // Small fixed vocabulary: a linear scan over the canonical names keeps
+  // the two directions trivially in sync.
+  static constexpr Consequence kAll[] = {
+      Consequence::Masked,        Consequence::HypervisorCrash,
+      Consequence::HypervisorHang, Consequence::AllVmFailure,
+      Consequence::OneVmFailure,  Consequence::AppCrash,
+      Consequence::AppSdc,
+  };
+  for (Consequence c : kAll) {
+    if (consequence_name(c) == name) return c;
+  }
+  return std::nullopt;
+}
+
 std::string_view undetected_class_name(UndetectedClass c) {
   switch (c) {
     case UndetectedClass::NotApplicable: return "n/a";
@@ -24,6 +39,19 @@ std::string_view undetected_class_name(UndetectedClass c) {
     case UndetectedClass::OtherValues: return "other_values";
   }
   return "?";
+}
+
+std::optional<UndetectedClass> undetected_class_from_name(
+    std::string_view name) {
+  static constexpr UndetectedClass kAll[] = {
+      UndetectedClass::NotApplicable, UndetectedClass::MisClassified,
+      UndetectedClass::StackValues,   UndetectedClass::TimeValues,
+      UndetectedClass::OtherValues,
+  };
+  for (UndetectedClass c : kAll) {
+    if (undetected_class_name(c) == name) return c;
+  }
+  return std::nullopt;
 }
 
 }  // namespace xentry::fault

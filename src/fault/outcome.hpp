@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "hv/machine.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/forensics.hpp"
 #include "xentry/framework.hpp"
 
 namespace xentry::fault {
@@ -39,6 +41,11 @@ enum class Consequence : std::uint8_t {
 
 std::string_view consequence_name(Consequence c);
 
+/// Inverse of consequence_name; nullopt for unknown names.  Keeps the
+/// exported vocabulary round-trippable (CSV/JSONL consumers feed names
+/// back into analysis tooling).
+std::optional<Consequence> consequence_from_name(std::string_view name);
+
 /// True for consequences that crossed VM entry (the paper's long-latency
 /// errors, Fig. 9's population).
 constexpr bool is_long_latency(Consequence c) {
@@ -62,6 +69,10 @@ enum class UndetectedClass : std::uint8_t {
 };
 
 std::string_view undetected_class_name(UndetectedClass c);
+
+/// Inverse of undetected_class_name; nullopt for unknown names.
+std::optional<UndetectedClass> undetected_class_from_name(
+    std::string_view name);
 
 /// Complete record of one injection experiment.
 struct InjectionRecord {
@@ -92,7 +103,32 @@ struct InjectionRecord {
   /// excluded from the determinism digest, so records stay bit-identical
   /// across telemetry modes.
   std::vector<obs::FlightFrame> blackbox;
+
+  /// Lockstep-replay evidence (obs::Options::forensics): first
+  /// architectural divergence, taint map, and evidence-based escape
+  /// attribution.  Like `blackbox`, excluded from the determinism digest
+  /// — `undetected` always keeps the heuristic value, and consumers read
+  /// the evidence-based class through effective_undetected().
+  std::optional<obs::ForensicsRecord> forensics;
 };
+
+/// The escape class analysis should use: the replay-evidence attribution
+/// when forensics ran, the heuristic otherwise.  The digested `undetected`
+/// field is never rewritten, so record digests stay bit-identical whether
+/// forensics ran or not.
+inline UndetectedClass effective_undetected(const InjectionRecord& r) {
+  return r.forensics.has_value()
+             ? static_cast<UndetectedClass>(r.forensics->attributed)
+             : r.undetected;
+}
+
+/// True for outcomes the forensics replay investigates: silent data
+/// corruption and app crashes always (Fig. 9's propagation population),
+/// plus anything manifested the detectors missed (Table II's escapes).
+constexpr bool needs_forensics(Consequence c, bool detected) {
+  return c == Consequence::AppSdc || c == Consequence::AppCrash ||
+         (is_manifested(c) && !detected);
+}
 
 /// True for the outcomes whose anatomy the flight recorder preserves
 /// (Table 2-style postmortems: silent corruption and crash classes).

@@ -67,4 +67,28 @@ std::string summarize(const std::vector<InjectionRecord>& records) {
   return os.str();
 }
 
+void write_forensics_jsonl(std::ostream& os,
+                           const std::vector<InjectionRecord>& records) {
+  // Every emitted name comes from a fixed internal vocabulary (handler
+  // symbols, register/consequence/class names), so no JSON escaping is
+  // needed.
+  for (const InjectionRecord& r : records) {
+    if (!r.forensics.has_value()) continue;
+    os << "{\"handler\": \"" << hv::handler_symbol(r.reason)
+       << "\", \"reason_code\": " << r.reason.code()
+       << ", \"seed\": " << r.activation_seed << ", \"vcpu\": " << r.vcpu
+       << ", \"at_step\": " << r.injection.at_step << ", \"reg\": \""
+       << sim::reg_name(r.injection.reg) << "\", \"bit\": " << r.injection.bit
+       << ", \"consequence\": \"" << consequence_name(r.consequence)
+       << "\", \"detected\": " << (r.detected ? "true" : "false")
+       << ", \"trace_diverged\": " << (r.trace_diverged ? "true" : "false")
+       << ", \"undetected_heuristic\": \""
+       << undetected_class_name(r.undetected) << "\", \"undetected\": \""
+       << undetected_class_name(effective_undetected(r))
+       << "\", \"forensics\": ";
+    r.forensics->write_json(os);
+    os << "}\n";
+  }
+}
+
 }  // namespace xentry::fault

@@ -22,4 +22,12 @@ void write_records_csv(std::ostream& os,
 /// consequence histogram, undetected classes, latency percentiles.
 std::string summarize(const std::vector<InjectionRecord>& records);
 
+/// Writes one JSON object per line for every record that carries a
+/// forensics payload (obs::Options::forensics): injection identity,
+/// outcome names, and the nested replay evidence (first divergence, taint
+/// map, attribution).  Records without forensics are skipped, so the file
+/// is exactly the replayed population.
+void write_forensics_jsonl(std::ostream& os,
+                           const std::vector<InjectionRecord>& records);
+
 }  // namespace xentry::fault

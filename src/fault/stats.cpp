@@ -87,7 +87,9 @@ UndetectedBreakdown undetected_breakdown(
   for (const InjectionRecord& r : records) {
     if (!is_manifested(r.consequence) || r.detected) continue;
     ++out.total;
-    switch (r.undetected) {
+    // Evidence-based class when the forensics replay ran, heuristic
+    // otherwise (they're the same field without forensics).
+    switch (effective_undetected(r)) {
       case UndetectedClass::MisClassified: ++out.mis_classified; break;
       case UndetectedClass::StackValues: ++out.stack_values; break;
       case UndetectedClass::TimeValues: ++out.time_values; break;

@@ -406,18 +406,10 @@ void Machine::prepare_inputs(const Activation& act) {
   }
 }
 
-RunResult Machine::run(const Activation& act, const RunOptions& opts) {
+void Machine::begin_activation(const Activation& act) {
   if (act.vcpu < 0 || act.vcpu >= num_vcpus()) {
-    throw std::invalid_argument("Machine::run: bad vcpu index");
+    throw std::invalid_argument("Machine::begin_activation: bad vcpu index");
   }
-
-  // Per-VM-exit span: named by the handler symbol (static storage), one
-  // lane per campaign shard.  A null recorder makes the span a no-op.
-  const bool tracing = telemetry_ != nullptr && telemetry_->trace != nullptr;
-  obs::TraceRecorder::Span span(
-      tracing ? telemetry_->trace : nullptr,
-      tracing ? handler_symbol(act.reason) : std::string_view{},
-      tracing ? telemetry_->tid : 0);
 
   // VM-exit side (hardware + exit stub): the exiting VCPU is by definition
   // running; make it current and ensure it is on the runqueue.
@@ -459,6 +451,18 @@ RunResult Machine::run(const Activation& act, const RunOptions& opts) {
       cpu_.set_reg(r, sm.next() & 0xffff);
     }
   }
+}
+
+RunResult Machine::run(const Activation& act, const RunOptions& opts) {
+  // Per-VM-exit span: named by the handler symbol (static storage), one
+  // lane per campaign shard.  A null recorder makes the span a no-op.
+  const bool tracing = telemetry_ != nullptr && telemetry_->trace != nullptr;
+  obs::TraceRecorder::Span span(
+      tracing ? telemetry_->trace : nullptr,
+      tracing ? handler_symbol(act.reason) : std::string_view{},
+      tracing ? telemetry_->tid : 0);
+
+  begin_activation(act);
 
   cpu_.set_trace(opts.trace);
   if (opts.arm_counters) cpu_.counters().arm();

@@ -88,6 +88,15 @@ class Machine {
   /// Runs one hypervisor activation to VM entry (or to a trap).
   RunResult run(const Activation& activation, const RunOptions& opts = {});
 
+  /// Prepares the machine for `activation` WITHOUT executing anything:
+  /// performs the VM-exit side effects (current-VCPU and runqueue
+  /// bookkeeping), synthesizes the handler's inputs, and resets the CPU
+  /// register file to the handler entry state.  run() performs exactly
+  /// this preparation before its execution loop; lockstep forensics
+  /// callers use it to re-enter the faulted window and then single-step
+  /// cpu() with the reference engine.  Deterministic per activation.
+  void begin_activation(const Activation& activation);
+
   /// Synthesizes a *legal* activation of the given reason: arguments and
   /// derived inputs that a fault-free handler accepts without traps or
   /// assertion failures.  Workload generators build on this.

@@ -1,0 +1,35 @@
+#include "obs/forensics.hpp"
+
+#include <ostream>
+
+namespace xentry::obs {
+
+void ForensicsRecord::write_json(std::ostream& os) const {
+  os << "{\"diverged\": " << (diverged ? "true" : "false")
+     << ", \"masked\": " << (masked ? "true" : "false");
+  if (diverged) {
+    os << ", \"divergence\": {\"step\": " << divergence.step
+       << ", \"in_register\": " << (divergence.in_register ? "true" : "false")
+       << ", \"location\": " << divergence.location
+       << ", \"bit\": " << divergence.bit
+       << ", \"xor_mask\": " << divergence.xor_mask << "}";
+  }
+  os << ", \"taint\": [";
+  bool first = true;
+  for (const TaintSample& s : taint) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"step\": " << s.step << ", \"mem_words\": " << s.mem_words
+       << ", \"regs\": " << s.regs << ", \"stack_words\": " << s.stack_words
+       << ", \"persistent_words\": " << s.persistent_words
+       << ", \"time_words\": " << s.time_words
+       << ", \"at_vm_entry\": " << (s.at_vm_entry ? "true" : "false") << "}";
+  }
+  os << "], \"replay_steps\": " << replay_steps
+     << ", \"attributed\": " << static_cast<int>(attributed)
+     << ", \"heuristic\": " << static_cast<int>(heuristic)
+     << ", \"heuristic_agrees\": " << (heuristic_agrees ? "true" : "false")
+     << "}";
+}
+
+}  // namespace xentry::obs

@@ -1,0 +1,80 @@
+// Fault-propagation forensics: the evidence one lockstep replay yields.
+//
+// When an injection ends in silent data corruption, an app crash, or an
+// undetected escape, the campaign re-runs the faulted window with golden
+// and faulty machines in bounded-step lockstep (src/fault/lockstep.cpp)
+// and records *measured* propagation evidence: where the flipped bit
+// first corrupted architectural state beyond the seeded flip, and how the
+// corruption set grew over time.  This header is the dependency-free data
+// model — the fault layer fills it, the report layer serializes it as
+// JSONL, and MetricsRegistry aggregates it.  Class fields are numeric
+// (UndetectedClass ordinals, register indices) so obs stays below the
+// fault layer in the dependency order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace xentry::obs {
+
+/// The first architectural divergence beyond the seeded flip: the dynamic
+/// instruction whose execution propagated the corruption, and where the
+/// new corruption landed.
+struct FirstDivergence {
+  /// Dynamic instruction index (faulted-run numbering, same scale as
+  /// Injection::at_step) of the propagating instruction.
+  std::uint64_t step = 0;
+  bool in_register = false;
+  /// Register index (in_register) or memory word address (!in_register).
+  std::uint64_t location = 0;
+  int bit = 0;                   ///< lowest corrupted bit at the location
+  std::uint64_t xor_mask = 0;    ///< full golden^faulty mask there
+};
+
+/// One checkpoint of the corruption frontier during replay.
+struct TaintSample {
+  /// Boundary step index: instructions executed when the sample was taken
+  /// (strictly increasing across a record's samples).
+  std::uint64_t step = 0;
+  std::uint32_t mem_words = 0;   ///< differing memory words, all regions
+  std::uint32_t regs = 0;        ///< differing registers beyond the seed
+  std::uint32_t stack_words = 0; ///< subset of mem_words in the stack range
+  /// Subset of mem_words in persistent (guest-visible or hv-retained)
+  /// structures — what diff_persistent_state would see.
+  std::uint32_t persistent_words = 0;
+  std::uint32_t time_words = 0;  ///< subset of persistent_words: time values
+  /// VM-entry crossing marker: the faulty side had reached the VM-entry
+  /// gate by this sample (the corruption survived into guest context).
+  bool at_vm_entry = false;
+};
+
+/// Everything one replay produced.  Carried on the InjectionRecord as an
+/// optional payload, excluded (like the flight-recorder blackbox) from
+/// the determinism digest: records stay bit-identical with forensics on
+/// or off.
+struct ForensicsRecord {
+  bool diverged = false;  ///< divergence found; `divergence` is valid
+  /// Replay fully converged: the corrupted bit was overwritten before
+  /// propagating (possible for undetected-escape qualifiers whose
+  /// consequence came from the consumption model, never for AppSdc).
+  bool masked = false;
+  FirstDivergence divergence;
+  /// Exponentially spaced from the divergence, plus one end-state sample.
+  std::vector<TaintSample> taint;
+  std::uint64_t replay_steps = 0;  ///< reference-engine steps, both sides
+
+  /// Evidence-based escape attribution and the heuristic it cross-checks
+  /// (fault::UndetectedClass ordinals; 0 = NotApplicable for detected
+  /// records).  The digested record field keeps the heuristic value;
+  /// consumers read the attribution through fault::effective_undetected.
+  std::uint8_t attributed = 0;
+  std::uint8_t heuristic = 0;
+  bool heuristic_agrees = true;
+
+  /// One complete JSON object (no trailing newline), numeric fields only;
+  /// fault::write_forensics_jsonl wraps it with the record's identity.
+  void write_json(std::ostream& os) const;
+};
+
+}  // namespace xentry::obs

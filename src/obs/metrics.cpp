@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <cstdio>
 #include <ostream>
 
 namespace xentry::obs {
@@ -88,6 +89,59 @@ void write_json_string(std::ostream& os, std::string_view s) {
 
 }  // namespace
 
+double Log2Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (0-based, midpoint convention keeps
+  // p50 of a symmetric distribution in the middle bucket).
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double lo_rank = static_cast<double>(cum);
+    cum += buckets_[i];
+    if (rank >= static_cast<double>(cum)) continue;
+    // Interpolate within the bucket's value range by rank position.
+    const double frac =
+        buckets_[i] == 1
+            ? 0.0
+            : (rank - lo_rank) / static_cast<double>(buckets_[i] - 1);
+    const double lo = static_cast<double>(bucket_lower_bound(i));
+    const double hi = static_cast<double>(bucket_upper_bound(i));
+    double v = lo + frac * (hi - lo);
+    // Clamp to the observed envelope: the extreme buckets are bounded by
+    // the true min/max, not their power-of-two edges.
+    if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+    if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+    return v;
+  }
+  return static_cast<double>(max_);
+}
+
+void Log2Histogram::write_json(std::ostream& os) const {
+  os << "{\"count\": " << count_ << ", \"sum\": " << sum_;
+  if (count_ > 0) {
+    os << ", \"min\": " << min_ << ", \"max\": " << max_;
+    // Fixed precision keeps the export byte-stable across libc float
+    // formatting defaults.
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  ", \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f",
+                  percentile(0.50), percentile(0.95), percentile(0.99));
+    os << buf;
+  }
+  os << ", \"buckets\": {";
+  bool bfirst = true;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (!bfirst) os << ", ";
+    bfirst = false;
+    os << '"' << bucket_lower_bound(i) << '"' << ": " << buckets_[i];
+  }
+  os << "}}";
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
   os << "{\n  \"counters\": {";
   bool first = true;
@@ -111,20 +165,8 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     os << (first ? "\n    " : ",\n    ");
     first = false;
     write_json_string(os, name);
-    os << ": {\"count\": " << h.count() << ", \"sum\": " << h.sum();
-    if (h.count() > 0) {
-      os << ", \"min\": " << h.min() << ", \"max\": " << h.max();
-    }
-    os << ", \"buckets\": {";
-    bool bfirst = true;
-    for (int i = 0; i < Log2Histogram::kNumBuckets; ++i) {
-      if (h.bucket(i) == 0) continue;
-      if (!bfirst) os << ", ";
-      bfirst = false;
-      os << '"' << Log2Histogram::bucket_lower_bound(i) << '"' << ": "
-         << h.bucket(i);
-    }
-    os << "}}";
+    os << ": ";
+    h.write_json(os);
   }
   os << (first ? "}" : "\n  }") << "\n}\n";
 }

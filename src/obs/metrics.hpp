@@ -84,6 +84,18 @@ class Log2Histogram {
     return (std::uint64_t{1} << i) - 1;
   }
 
+  /// Estimates the q-quantile (q in [0, 1]) from the bucket boundaries:
+  /// walk the cumulative counts to the rank, then interpolate linearly
+  /// within the bucket's [lower, upper] range, clamped to the observed
+  /// [min, max] so estimates never leave the data's envelope.  Exact for
+  /// single-bucket data; within one power of two otherwise.  Returns 0
+  /// when empty.
+  double percentile(double q) const;
+
+  /// The histogram's JSON object: count/sum/min/max, p50/p95/p99 (when
+  /// non-empty), and the sparse "buckets" map keyed by lower bound.
+  void write_json(std::ostream& os) const;
+
   void merge_from(const Log2Histogram& other) {
     for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
     count_ += other.count_;

@@ -822,6 +822,16 @@ StepInfo Cpu::run_loop(std::uint64_t max_steps) {
   return info;
 }
 
+std::size_t diff_regs(const Cpu& a, const Cpu& b, std::vector<RegDiff>& out) {
+  out.clear();
+  for (int r = 0; r < kNumArchRegs; ++r) {
+    const Word x = a.regs()[static_cast<std::size_t>(r)] ^
+                   b.regs()[static_cast<std::size_t>(r)];
+    if (x != 0) out.push_back(RegDiff{static_cast<Reg>(r), x});
+  }
+  return out.size();
+}
+
 StepInfo Cpu::run(std::uint64_t max_steps) {
   const unsigned key = (trace_ != nullptr ? 1u : 0u) |
                        (track_masks_ ? 2u : 0u) | (shadow_enabled_ ? 4u : 0u);

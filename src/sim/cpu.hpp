@@ -38,6 +38,13 @@ namespace xentry::sim {
 /// paper's discussion of time-value checking relies on (Section VI).
 inline constexpr Word kTscPerStep = 3;
 
+/// One architectural register that differs between two CPUs: the
+/// register-file element of a (location, xor-mask) corruption set.
+struct RegDiff {
+  Reg reg = Reg::rax;
+  Word xor_mask = 0;  ///< a ^ b; never zero
+};
+
 /// Result of one step.
 struct StepInfo {
   enum class Status : std::uint8_t { Ok, Halted, Trapped };
@@ -66,6 +73,11 @@ class Cpu {
   }
 
   const std::array<Word, kNumArchRegs>& regs() const { return regs_; }
+
+  /// Bulk register-file overwrite, for lockstep checkpoint restore.  The
+  /// TSC and step counter are untouched (set_tsc restores the former; the
+  /// latter is bookkeeping the replay engine tracks itself).
+  void set_regs(const std::array<Word, kNumArchRegs>& regs) { regs_ = regs; }
 
   /// Resets registers to a clean state with the given entry point and
   /// stack pointer.  Flags and GPRs are zeroed; the TSC is preserved
@@ -149,5 +161,10 @@ class Cpu {
   bool shadow_enabled_ = false;
   bool track_masks_ = true;
 };
+
+/// Fills `out` with one RegDiff per architectural register (including rip
+/// and rflags) whose value differs between `a` and `b`, in register-index
+/// order, and returns the diff count.  `out` is cleared first and reused.
+std::size_t diff_regs(const Cpu& a, const Cpu& b, std::vector<RegDiff>& out);
 
 }  // namespace xentry::sim

@@ -178,6 +178,31 @@ void Memory::restore(const Snapshot& snap) {
   }
 }
 
+std::size_t Memory::diff_spans(const Memory& other,
+                               std::vector<WordDiff>& out) const {
+  assert(other.regions_.size() == regions_.size());
+  out.clear();
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const Region& a = regions_[i];
+    const Region& b = other.regions_[i];
+    assert(a.base == b.base && a.size == b.size);
+    if (a.data == b.data) continue;  // memcmp gate: no diffs in this region
+    for (Addr off = 0; off < a.size; ++off) {
+      const Word x = a.data[off] ^ b.data[off];
+      if (x != 0) out.push_back(WordDiff{a.base + off, x});
+    }
+  }
+  return out.size();
+}
+
+bool Memory::differs_from(const Memory& other) const {
+  assert(other.regions_.size() == regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].data != other.regions_[i].data) return true;
+  }
+  return false;
+}
+
 void Memory::clear() {
   for (Region& r : regions_) {
     std::fill(r.data.begin(), r.data.end(), 0);

@@ -31,6 +31,16 @@ enum class Perm : std::uint8_t {
   ReadWrite = 3,
 };
 
+/// One word that differs between two Memories with identical mappings:
+/// the compact (location, xor-mask) element of a corruption set.  The
+/// forensics replay engine diffs golden/faulty state at every lockstep
+/// checkpoint, so the representation carries no values — just where and
+/// which bits.
+struct WordDiff {
+  Addr addr = 0;
+  Word xor_mask = 0;  ///< a ^ b at `addr`; never zero
+};
+
 class Memory {
  public:
   struct Region {
@@ -151,6 +161,21 @@ class Memory {
   /// per word).  Aborts if the range is not fully inside one mapped
   /// region — programming error, not a simulated fault.
   Word* poke_span(Addr a, Addr len);
+
+  /// Fills `out` with one WordDiff per word whose contents differ from
+  /// `other`, in ascending address order, and returns the diff count.
+  /// `other` must have identical region mappings (same map() calls).
+  /// Regions whose contents compare equal are skipped via one memcmp, so
+  /// the common nearly-converged comparison touches no per-word loop.
+  /// `out` is cleared first and reused — the lockstep replay calls this
+  /// once per checkpoint and must not reallocate per call.
+  std::size_t diff_spans(const Memory& other, std::vector<WordDiff>& out) const;
+
+  /// True when any mapped word differs from `other` (identical mappings
+  /// required).  The existence-only form of diff_spans: one memcmp per
+  /// region, early exit on the first mismatch — the lockstep divergence
+  /// predicate evaluates this every chunk boundary.
+  bool differs_from(const Memory& other) const;
 
   bool is_mapped(Addr a) const { return find(a) != nullptr; }
   const Region* region_at(Addr a) const { return find(a); }

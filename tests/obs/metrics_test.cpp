@@ -153,6 +153,66 @@ TEST(MetricsRegistryTest, JsonIsSortedAndEscaped) {
   EXPECT_NE(json.find("quote\\\"key"), std::string::npos);
 }
 
+TEST(Log2HistogramTest, PercentileEmptyAndSingleValue) {
+  Log2Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  h.observe(42);
+  // One observation: every quantile is that value (the min/max clamp
+  // collapses the bucket interpolation).
+  EXPECT_EQ(h.percentile(0.0), 42.0);
+  EXPECT_EQ(h.percentile(0.5), 42.0);
+  EXPECT_EQ(h.percentile(1.0), 42.0);
+}
+
+TEST(Log2HistogramTest, PercentileWalksBucketsInOrder) {
+  Log2Histogram h;
+  // 100 values: 90 small (bucket of 1) and 10 large (bucket of 1024).
+  for (int i = 0; i < 90; ++i) h.observe(1);
+  for (int i = 0; i < 10; ++i) h.observe(1024);
+  EXPECT_EQ(h.percentile(0.5), 1.0);   // rank 49.5 sits in the small mass
+  EXPECT_GE(h.percentile(0.95), 1024.0);  // rank 94.05 is in the large mass
+  EXPECT_LE(h.percentile(0.95), 2047.0);  // ...and within its bucket range
+  EXPECT_LE(h.percentile(0.99), h.max());
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.95));
+  EXPECT_LE(h.percentile(0.95), h.percentile(0.99));
+}
+
+TEST(Log2HistogramTest, PercentileClampedToObservedRange) {
+  Log2Histogram h;
+  h.observe(1000);
+  h.observe(1030);
+  // Both land in bucket [1024's neighborhood]: interpolation must not
+  // leave [min, max].
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_GE(h.percentile(q), 1000.0);
+    EXPECT_LE(h.percentile(q), 1030.0);
+  }
+}
+
+TEST(Log2HistogramTest, JsonHasPercentilesWhenNonEmpty) {
+  Log2Histogram h;
+  std::ostringstream empty_os;
+  h.write_json(empty_os);
+  EXPECT_EQ(empty_os.str().find("\"p50\""), std::string::npos);
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<std::uint64_t>(i));
+  std::ostringstream os;
+  h.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RegistryJsonIncludesHistogramPercentiles) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 32; ++i) reg.histogram("lat").observe(8);
+  const std::string json = registry_json(reg);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 8.0"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, MergeAdoptsMetricsAbsentOnOneSide) {
   MetricsRegistry a, b;
   a.counter("only_a").inc(1);
