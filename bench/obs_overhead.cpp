@@ -1,9 +1,10 @@
 // Telemetry overhead bound + digest-equality check.
 //
-// Runs the same campaign (the micro_campaign configuration) under five
+// Runs the same campaign (the micro_campaign configuration) under six
 // telemetry modes — two independent fully-off sets, metrics-only, fully
-// on (metrics + tracing + flight recorder), and forensics (metrics +
-// lockstep replay) — and asserts the
+// on (metrics + tracing + flight recorder), forensics (metrics +
+// lockstep replay), and cfi_off (static-analysis artifacts installed but
+// control-flow detection disabled) — and asserts the
 // observability contract.  Measurement discipline for noisy shared
 // hosts: rates are computed from process CPU time (immune to scheduler
 // steal), one untimed warmup campaign runs first, the mode order rotates
@@ -22,7 +23,10 @@
 //      perturb the record stream) and its throughput stays within
 //      `tol_forensics` — a loose bound: forensics re-executes qualifying
 //      faulted windows on the reference engine, so its cost scales with
-//      the escape rate, not with hot-path instrumentation.
+//      the escape rate, not with hot-path instrumentation;
+//   5. cfi_off digests equal the off digests (installing analysis
+//      artifacts with control-flow detection disabled must not perturb
+//      the observe path) and its rate is judged at `tol_disabled`.
 //
 // Exit status is non-zero on any violation, so CI can run this as a
 // smoke test.  `--trace-out FILE` additionally writes the fully-on run's
@@ -38,11 +42,13 @@
 #include <cstring>
 #include <ctime>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "fault/campaign.hpp"
+#include "hv/microvisor.hpp"
 
 namespace {
 
@@ -51,6 +57,9 @@ using namespace xentry;
 struct Mode {
   const char* name;
   obs::Options obs;
+  /// Install static-analysis artifacts (with control-flow detection left
+  /// off) — exercises the disabled-CFI path of the observe loop.
+  bool install_analysis = false;
 };
 
 struct RunScore {
@@ -65,13 +74,16 @@ double cpu_seconds() {
 }
 
 RunScore run_once(int injections, int shards, std::uint64_t seed,
-                  const obs::Options& oo, fault::CampaignResult* keep) {
+                  const Mode& mode,
+                  std::shared_ptr<const analysis::AnalysisArtifacts> analysis,
+                  fault::CampaignResult* keep) {
   fault::CampaignConfig cfg;
   cfg.injections = injections;
   cfg.shards = shards;
   cfg.seed = seed;
   cfg.collect_dataset = true;  // the micro_campaign configuration
-  cfg.obs = oo;
+  cfg.obs = mode.obs;
+  if (mode.install_analysis) cfg.analysis = std::move(analysis);
   const double t0 = cpu_seconds();
   fault::CampaignResult res = fault::run_campaign(cfg);
   const double elapsed = cpu_seconds() - t0;
@@ -94,7 +106,7 @@ double env_tol(const char* name, double fallback) {
 int main(int argc, char** argv) {
   // Default reps = mode count: with rotation, every mode then occupies
   // every within-rep slot exactly once.
-  int injections = 20000, shards = 1, reps = 5;
+  int injections = 20000, shards = 1, reps = 6;
   std::uint64_t seed = 7;
   std::string trace_out;
   int pos = 0;
@@ -120,13 +132,21 @@ int main(int argc, char** argv) {
       {"metrics", {.metrics = true}},
       {"full", obs::Options::all()},
       {"forensics", {.metrics = true, .forensics = true}},
+      {"cfi_off", obs::Options{}, /*install_analysis=*/true},
   };
-  constexpr int kNumModes = 5;
+  constexpr int kNumModes = 6;
+
+  // Analysis artifacts for the cfi_off mode, computed once (the analysis
+  // itself is build-time work, not part of the campaign hot path).
+  const hv::Microvisor probe =
+      hv::build_microvisor(fault::CampaignConfig{}.machine);
+  const auto artifacts = std::make_shared<const analysis::AnalysisArtifacts>(
+      analysis::analyze_program(probe.program, hv::analyze_options(probe)));
 
   // One untimed warmup (page cache, allocator, frequency boost), then
   // rotate the mode order every rep so drift hits every mode equally;
   // keep the best rate per mode.
-  run_once(injections, shards, seed, obs::Options{}, nullptr);
+  run_once(injections, shards, seed, modes[0], nullptr, nullptr);
   double best[kNumModes] = {};
   std::uint64_t digest = 0;
   bool digest_set = false, digests_ok = true;
@@ -135,8 +155,8 @@ int main(int argc, char** argv) {
     for (int mi = 0; mi < kNumModes; ++mi) {
       const int m = (mi + rep) % kNumModes;
       const bool keep = m == 3;  // "full": the run --trace-out exports
-      const RunScore s = run_once(injections, shards, seed, modes[m].obs,
-                                  keep ? &full_result : nullptr);
+      const RunScore s = run_once(injections, shards, seed, modes[m],
+                                  artifacts, keep ? &full_result : nullptr);
       if (s.rate > best[m]) best[m] = s.rate;
       if (!digest_set) {
         digest = s.digest;
@@ -160,9 +180,13 @@ int main(int argc, char** argv) {
   const double overhead_metrics = 1.0 - best[2] / best[0];
   const double overhead_enabled = 1.0 - best[3] / best[0];
   const double overhead_forensics = 1.0 - best[4] / best[0];
+  // cfi_off is a disabled collection site like off2: one boolean check
+  // per observation, so it is judged at the same symmetric tolerance.
+  const double overhead_cfi_off = std::abs(1.0 - best[5] / best[0]);
   const bool disabled_ok = overhead_disabled <= tol_disabled;
   const bool enabled_ok = overhead_enabled <= tol_enabled;
   const bool forensics_ok = overhead_forensics <= tol_forensics;
+  const bool cfi_off_ok = overhead_cfi_off <= tol_disabled;
 
   std::printf(
       "{\n"
@@ -178,10 +202,12 @@ int main(int argc, char** argv) {
       "  \"rate_metrics\": %.1f,\n"
       "  \"rate_full\": %.1f,\n"
       "  \"rate_forensics\": %.1f,\n"
+      "  \"rate_cfi_off\": %.1f,\n"
       "  \"overhead_disabled\": %.4f,\n"
       "  \"overhead_metrics\": %.4f,\n"
       "  \"overhead_full\": %.4f,\n"
       "  \"overhead_forensics\": %.4f,\n"
+      "  \"overhead_cfi_off\": %.4f,\n"
       "  \"tol_disabled\": %.4f,\n"
       "  \"tol_enabled\": %.4f,\n"
       "  \"tol_forensics\": %.4f,\n"
@@ -189,10 +215,11 @@ int main(int argc, char** argv) {
       "}\n",
       injections, shards, static_cast<unsigned long long>(seed), reps,
       static_cast<unsigned long long>(digest), digests_ok ? "true" : "false",
-      best[0], best[1], best[2], best[3], best[4], overhead_disabled,
-      overhead_metrics, overhead_enabled, overhead_forensics, tol_disabled,
-      tol_enabled, tol_forensics,
-      disabled_ok && enabled_ok && forensics_ok ? "true" : "false");
+      best[0], best[1], best[2], best[3], best[4], best[5], overhead_disabled,
+      overhead_metrics, overhead_enabled, overhead_forensics, overhead_cfi_off,
+      tol_disabled, tol_enabled, tol_forensics,
+      disabled_ok && enabled_ok && forensics_ok && cfi_off_ok ? "true"
+                                                             : "false");
 
   if (!trace_out.empty()) {
     std::ofstream os(trace_out);
@@ -222,6 +249,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: forensics overhead %.2f%% exceeds %.2f%%\n",
                  overhead_forensics * 100, tol_forensics * 100);
+    return 1;
+  }
+  if (!cfi_off_ok) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-CFI overhead %.2f%% exceeds %.2f%%\n",
+                 overhead_cfi_off * 100, tol_disabled * 100);
     return 1;
   }
   return 0;

@@ -1,0 +1,88 @@
+#include "analysis/cfi.hpp"
+
+namespace xentry::analysis {
+
+namespace {
+
+using sim::Addr;
+
+bool edge_legal(const ControlFlowGraph& cfg, Addr a, Addr b) {
+  const std::uint32_t ba = cfg.block_at(a);
+  const std::uint32_t bb = cfg.block_at(b);
+  if (ba == kNoBlock || bb == kNoBlock) return false;
+  const BasicBlock& from = cfg.blocks[ba];
+  if (a != from.last) return b == a + 1;  // sequential flow inside a block
+  if (from.accept_any_succ) return true;  // unresolved indirect jump
+  for (std::uint32_t s : from.succs) {
+    if (cfg.blocks[s].first == b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CfiResult check_trace(
+    const AnalysisArtifacts& artifacts, const std::vector<Addr>& trace,
+    Addr expected_entry, Addr hlt_addr,
+    const std::array<sim::Word, sim::kNumArchRegs>* final_regs) {
+  const ControlFlowGraph& cfg = artifacts.cfg;
+  CfiResult r;
+  auto wild = [&](std::size_t step, Addr from, Addr to) {
+    r.kind = CfiResult::Kind::WildEdge;
+    r.step = step;
+    r.from = from;
+    r.to = to;
+    return r;
+  };
+
+  const Addr first = !trace.empty() ? trace[0]
+                     : hlt_addr != kNoAddr ? hlt_addr
+                                           : kNoAddr;
+  if (expected_entry != kNoAddr && first != kNoAddr) {
+    ++r.edges_checked;
+    if (first != expected_entry || cfg.block_at(first) == kNoBlock) {
+      r.kind = CfiResult::Kind::BadEntry;
+      r.step = 0;
+      r.from = expected_entry;
+      r.to = first;
+      return r;
+    }
+  }
+
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    ++r.edges_checked;
+    if (!edge_legal(cfg, trace[i - 1], trace[i])) {
+      return wild(i, trace[i - 1], trace[i]);
+    }
+  }
+  if (hlt_addr != kNoAddr && !trace.empty()) {
+    ++r.edges_checked;
+    if (!edge_legal(cfg, trace.back(), hlt_addr)) {
+      return wild(trace.size(), trace.back(), hlt_addr);
+    }
+  }
+
+  if (hlt_addr != kNoAddr && final_regs != nullptr) {
+    const auto [lo, hi] = artifacts.derived_at(hlt_addr);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const DerivedAssertion& d = artifacts.derived[i];
+      ++r.ranges_checked;
+      const auto v = static_cast<std::int64_t>((*final_regs)[d.reg]);
+      if (v < d.lo || v > d.hi) {
+        r.kind = CfiResult::Kind::DerivedRange;
+        r.step = trace.size();
+        r.from = hlt_addr;
+        r.to = hlt_addr;
+        r.derived_id = d.id;
+        r.reg = d.reg;
+        r.value = v;
+        r.lo = d.lo;
+        r.hi = d.hi;
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace xentry::analysis

@@ -1,0 +1,66 @@
+// Runtime control-flow-integrity check: replays an executed instruction
+// trace against the statically computed legal-edge sets and, when the
+// run reached the VM-entry gate, checks the derived range assertions
+// against the final register file.
+//
+// The trace contains retired instruction addresses only (trapping
+// instructions and the Hlt itself never retire), so a legal step is
+// either sequential flow inside a block or a block-terminator edge to a
+// successor leader.  Anything else is a wild edge — the signature of a
+// control-flow soft error that stayed inside valid code and therefore
+// never raised a hardware exception.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/artifacts.hpp"
+#include "sim/types.hpp"
+
+namespace xentry::analysis {
+
+/// "No address" sentinel for the optional entry / halt parameters.
+inline constexpr sim::Addr kNoAddr = ~sim::Addr{0};
+
+struct CfiResult {
+  enum class Kind : std::uint8_t {
+    None = 0,
+    BadEntry,      ///< first retired instruction is not the handler entry
+    WildEdge,      ///< transition outside the legal-edge sets
+    DerivedRange,  ///< derived range assertion violated at the gate
+  };
+  Kind kind = Kind::None;
+  std::uint64_t edges_checked = 0;
+  std::uint64_t ranges_checked = 0;
+  /// Dynamic step index of the violation: index into the trace of the
+  /// offending edge's destination, or the trace length for checks at the
+  /// VM-entry gate.
+  std::size_t step = 0;
+  sim::Addr from = 0;
+  sim::Addr to = 0;
+  /// DerivedRange only: which assertion fired and the observed value.
+  std::uint32_t derived_id = 0;
+  std::uint8_t reg = 0;
+  std::int64_t value = 0;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  bool ok() const { return kind == Kind::None; }
+};
+
+/// Checks one run's retired-instruction trace.
+///   expected_entry — the dispatched handler entry; kNoAddr skips the
+///                    entry check.
+///   hlt_addr       — rip after a run that reached the VM-entry gate
+///                    (the Hlt does not retire, so it is appended here as
+///                    a virtual final trace element); kNoAddr for runs
+///                    that trapped or timed out.
+///   final_regs     — register file at the gate; enables the derived
+///                    range checks (ignored when hlt_addr is kNoAddr).
+CfiResult check_trace(
+    const AnalysisArtifacts& artifacts, const std::vector<sim::Addr>& trace,
+    sim::Addr expected_entry, sim::Addr hlt_addr,
+    const std::array<sim::Word, sim::kNumArchRegs>* final_regs);
+
+}  // namespace xentry::analysis

@@ -1,0 +1,147 @@
+// CFG-based implementation of sim::verify_program (declared in
+// sim/verifier.hpp; linking xentry_analysis provides it).  Target
+// legality and fall-through rules come from the same CFG construction
+// the runtime CFI detector replays against, so a program the verifier
+// accepts is exactly a program whose fault-free runs the detector will
+// never flag.  Issues are emitted in ascending address order (matching
+// the retired peephole pass), with UnreachableBlock findings appended
+// after the per-instruction diagnostics.
+#include "sim/verifier.hpp"
+
+#include <sstream>
+
+#include "analysis/artifacts.hpp"
+
+namespace xentry::sim {
+
+std::string_view issue_kind_name(VerifierIssue::Kind k) {
+  switch (k) {
+    case VerifierIssue::Kind::BranchOutOfRange: return "branch_out_of_range";
+    case VerifierIssue::Kind::BranchIntoPadding: return "branch_into_padding";
+    case VerifierIssue::Kind::FallthroughIntoPadding:
+      return "fallthrough_into_padding";
+    case VerifierIssue::Kind::UnknownAssertId: return "unknown_assert_id";
+    case VerifierIssue::Kind::CallTargetNotSymbol:
+      return "call_target_not_symbol";
+    case VerifierIssue::Kind::UnreachableBlock: return "unreachable_block";
+  }
+  return "?";
+}
+
+std::string VerifierReport::to_string() const {
+  std::ostringstream os;
+  os << instructions << " instructions (" << padding << " padding), "
+     << branches << " branches, " << loads << " loads, " << stores
+     << " stores, " << assertions << " assertions, " << indirect_jumps
+     << " indirect jumps; " << issues.size() << " issue(s)";
+  for (const VerifierIssue& i : issues) {
+    os << "\n  [" << issue_kind_name(i.kind) << "] at " << i.addr
+       << " target " << i.target << ": " << i.detail;
+  }
+  return os.str();
+}
+
+VerifierReport verify_program(const Program& program,
+                              const VerifierOptions& options) {
+  const analysis::ControlFlowGraph cfg = analysis::build_cfg(program);
+  const analysis::DataflowResult df = analysis::run_dataflow(program, cfg);
+  return analysis::verify_with_cfg(program, cfg, df.facts, options);
+}
+
+}  // namespace xentry::sim
+
+namespace xentry::analysis {
+
+namespace {
+
+bool is_direct_branch(sim::Opcode op) {
+  return op == sim::Opcode::Jmp || op == sim::Opcode::Call ||
+         sim::is_cond_branch(op);
+}
+
+}  // namespace
+
+sim::VerifierReport verify_with_cfg(const sim::Program& program,
+                                    const ControlFlowGraph& cfg,
+                                    const std::vector<BlockFacts>& facts,
+                                    const sim::VerifierOptions& options) {
+  using sim::Addr;
+  using sim::Instruction;
+  using sim::Opcode;
+  using sim::VerifierIssue;
+
+  sim::VerifierReport report;
+  std::vector<bool> is_symbol_entry(program.size(), false);
+  for (const auto& [name, addr] : program.symbols()) {
+    if (program.contains(addr)) {
+      is_symbol_entry[addr - program.base()] = true;
+    }
+  }
+
+  for (Addr a = program.base(); a < program.end(); ++a) {
+    const Instruction& insn = program.at(a);
+    if (insn.op == Opcode::Ud) {
+      ++report.padding;
+      continue;
+    }
+    ++report.instructions;
+    report.branches += sim::is_branch(insn.op) ? 1 : 0;
+    report.loads += sim::is_mem_load(insn.op) ? 1 : 0;
+    report.stores += sim::is_mem_store(insn.op) ? 1 : 0;
+    report.assertions += sim::is_assertion(insn.op) ? 1 : 0;
+    report.indirect_jumps += insn.op == Opcode::JmpR ? 1 : 0;
+
+    if (is_direct_branch(insn.op)) {
+      const auto target = static_cast<Addr>(insn.imm);
+      switch (classify_branch_target(program, target)) {
+        case TargetStatus::OutOfRange:
+          report.issues.push_back({VerifierIssue::Kind::BranchOutOfRange, a,
+                                   target, disassemble(insn)});
+          break;
+        case TargetStatus::Padding:
+          report.issues.push_back({VerifierIssue::Kind::BranchIntoPadding, a,
+                                   target, disassemble(insn)});
+          break;
+        case TargetStatus::Ok:
+          if (insn.op == Opcode::Call && options.calls_must_hit_symbols &&
+              !is_symbol_entry[target - program.base()]) {
+            report.issues.push_back({VerifierIssue::Kind::CallTargetNotSymbol,
+                                     a, target, disassemble(insn)});
+          }
+          break;
+      }
+    }
+
+    if (sim::is_assertion(insn.op) && options.max_assert_id != 0) {
+      if (insn.aux == 0 || insn.aux >= options.max_assert_id) {
+        report.issues.push_back({VerifierIssue::Kind::UnknownAssertId, a, 0,
+                                 disassemble(insn)});
+      }
+    }
+
+    // Falling through into padding means a function body forgot its
+    // ret/jmp/hlt tail.  The CFG marks this on the block's last
+    // instruction (an instruction preceding Ud is always block-last).
+    const std::uint32_t bi = cfg.block_at(a);
+    if (bi != kNoBlock && cfg.blocks[bi].last == a &&
+        cfg.blocks[bi].falls_into_padding) {
+      report.issues.push_back({VerifierIssue::Kind::FallthroughIntoPadding,
+                               a, a + 1, disassemble(insn)});
+    }
+  }
+
+  // Orphaned code: no static control path from any entry reaches it.
+  for (std::uint32_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    if (facts[bi].reachable) continue;
+    const BasicBlock& b = cfg.blocks[bi];
+    std::ostringstream os;
+    os << "block " << b.first << ".." << b.last;
+    const std::string sym = program.symbol_at(b.first);
+    if (!sym.empty()) os << " in " << sym;
+    report.issues.push_back(
+        {VerifierIssue::Kind::UnreachableBlock, b.first, b.last, os.str()});
+  }
+  return report;
+}
+
+}  // namespace xentry::analysis

@@ -86,6 +86,12 @@ void validate_campaign_config(const CampaignConfig& cfg) {
          "cfg.model, set collect_dataset=true (the training "
          "configuration), or disable xentry.transition_detection");
   }
+  if (cfg.xentry.control_flow_detection && cfg.analysis == nullptr) {
+    fail("control-flow detection is enabled but no analysis artifacts are "
+         "installed — it can never fire; set cfg.analysis to "
+         "analyze_program(...) output or disable "
+         "xentry.control_flow_detection");
+  }
 }
 
 namespace {
@@ -196,6 +202,7 @@ CampaignResult run_shard(const CampaignConfig& cfg,
   if (oo.metrics) xcfg.obs.metrics = true;
   Xentry xentry(xcfg);
   if (!cfg.model.empty()) xentry.set_model(cfg.model);
+  if (cfg.analysis != nullptr) xentry.set_analysis(cfg.analysis.get());
   if (oo.metrics) xentry.set_metrics(&result.metrics);
   InjectionExperiment experiment(golden, faulty, xentry, cfg.outcome);
   if (oo.flight_recorder) experiment.set_flight_recorder(&flight);
@@ -309,6 +316,20 @@ CampaignResult run_shard(const CampaignConfig& cfg,
 
 CampaignResult run_campaign(const CampaignConfig& cfg) {
   validate_campaign_config(cfg);
+  if (cfg.analysis != nullptr) {
+    // Artifacts are keyed to the exact program text; stale artifacts
+    // would make the legal-edge sets wrong in both directions (missed
+    // detections and false positives), so mismatches are config errors.
+    const hv::Microvisor probe = hv::build_microvisor(cfg.machine);
+    if (analysis::program_signature(probe.program) !=
+        cfg.analysis->signature) {
+      throw std::invalid_argument(
+          "CampaignConfig: analysis artifacts were computed for a "
+          "different program than this machine configuration assembles "
+          "(signature mismatch) — re-run analyze_program with the same "
+          "MicrovisorOptions");
+    }
+  }
 
   int shards = cfg.shards;
   if (shards <= 0) {

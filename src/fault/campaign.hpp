@@ -11,8 +11,10 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "analysis/artifacts.hpp"
 #include "fault/experiment.hpp"
 #include "fault/outcome.hpp"
 #include "ml/dataset.hpp"
@@ -71,6 +73,13 @@ struct CampaignConfig {
 
   /// Collect (features, label) samples into CampaignResult::dataset.
   bool collect_dataset = false;
+
+  /// Static-analysis artifacts for xentry.control_flow_detection, shared
+  /// read-only across shards (every shard's Microvisor assembles the same
+  /// program, so one analysis serves all).  Required when control-flow
+  /// detection is enabled — validate_campaign_config fails fast otherwise,
+  /// mirroring the transition-detection-without-model guard.
+  std::shared_ptr<const analysis::AnalysisArtifacts> analysis;
 
   /// Observability: per-shard metrics, phase/VM-exit tracing, and the
   /// SDC flight recorder.  All off by default; none of it perturbs the

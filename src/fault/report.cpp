@@ -44,6 +44,9 @@ std::string summarize(const std::vector<InjectionRecord>& records) {
   if (cov.stack_redundancy > 0) {
     os << ", stack " << 100.0 * cov.share(cov.stack_redundancy) << "%";
   }
+  if (cov.control_flow > 0) {
+    os << ", cfi " << 100.0 * cov.share(cov.control_flow) << "%";
+  }
   os << ", undetected " << 100.0 * cov.share(cov.undetected) << "%]\n";
 
   os << "consequences:";

@@ -20,6 +20,7 @@ CoverageBreakdown coverage_breakdown(
       case Technique::SoftwareAssertion: ++out.sw_assertion; break;
       case Technique::VmTransition: ++out.vm_transition; break;
       case Technique::StackRedundancy: ++out.stack_redundancy; break;
+      case Technique::ControlFlow: ++out.control_flow; break;
       case Technique::None: ++out.undetected; break;
     }
   }

@@ -133,6 +133,10 @@ class Machine {
     return vcpu / mv_.options.vcpus_per_domain;
   }
 
+  /// Handler entry address for an exit reason (O(1), cached).  The CFI
+  /// detector checks each run's first retired instruction against this.
+  sim::Addr handler_entry(const ExitReason& reason) const;
+
   /// Feature names of Table I, in the order the detector consumes them.
   static const std::vector<std::string>& feature_names();
 
@@ -149,7 +153,6 @@ class Machine {
   void map_regions();
   void init_boot_state();
   void prepare_inputs(const Activation& activation);
-  sim::Addr handler_entry(const ExitReason& reason) const;
 
   Microvisor mv_;
   sim::Memory mem_;

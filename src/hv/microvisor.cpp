@@ -1773,6 +1773,22 @@ std::vector<sim::Addr> Microvisor::hypercall_body_table() const {
   return table;
 }
 
+analysis::AnalyzeOptions analyze_options(const Microvisor& mv) {
+  analysis::AnalyzeOptions opt;
+  std::vector<sim::Addr> bodies;
+  for (sim::Addr a : mv.hypercall_body_table()) {
+    if (a != 0) bodies.push_back(a);
+  }
+  const sim::Program& p = mv.program;
+  for (sim::Addr a = p.base(); a < p.end(); ++a) {
+    if (p.at(a).op == sim::Opcode::JmpR) {
+      opt.cfg.indirect_targets.emplace(a, bodies);
+    }
+  }
+  opt.verifier.max_assert_id = kAssertMaxId;
+  return opt;
+}
+
 Microvisor build_microvisor(const MicrovisorOptions& options) {
   if (options.num_domains < 1 || options.num_domains > L::kMaxDomains) {
     throw std::invalid_argument("build_microvisor: bad num_domains");

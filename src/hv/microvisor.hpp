@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/artifacts.hpp"
 #include "hv/exit_reason.hpp"
 #include "sim/program.hpp"
 
@@ -104,5 +105,11 @@ struct Microvisor {
 
 /// Assembles the complete microvisor text.
 Microvisor build_microvisor(const MicrovisorOptions& options = {});
+
+/// Static-analysis options for a microvisor program: every JmpR site is
+/// resolved to the multicall-safe hypercall-body set (the only indirect
+/// jump the microvisor emits goes through the in-memory hypercall table),
+/// and the verifier is bound to the built-in assertion id range.
+analysis::AnalyzeOptions analyze_options(const Microvisor& mv);
 
 }  // namespace xentry::hv

@@ -12,32 +12,32 @@ Addr Program::symbol(const std::string& name) const {
   return it->second;
 }
 
-void Program::compute_fusion() {
-  for (Instruction& insn : code_) insn.fused = 0;
-  if (code_.size() < 2) return;
-
-  // Conservative static landing set: every address control flow can enter
-  // without falling through from the previous slot.  A pair whose *tail*
-  // (the Jcc slot) is a landing point must not fuse — a jump arriving there
-  // must execute the bare Jcc, and fusing the pair would make the head's
-  // basic block extend across an incoming edge.  The set covers direct
-  // branch/call targets, named symbols (dispatch entries), call return
-  // sites, and any MovRI immediate that lands in the code image (material
-  // for indirect jumps through a register).
-  std::vector<bool> landing(code_.size(), false);
+std::vector<bool> compute_landing_sites(const Program& program) {
+  std::vector<bool> landing(program.size(), false);
   auto mark = [&](Addr target) {
-    const Addr off = target - base_;
-    if (off < code_.size()) landing[off] = true;
+    const Addr off = target - program.base();
+    if (off < program.size()) landing[off] = true;
   };
-  for (std::size_t i = 0; i < code_.size(); ++i) {
-    const Instruction& insn = code_[i];
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const Instruction& insn = program.at(program.base() + i);
     if (insn.op == Opcode::Jmp || insn.op == Opcode::Call ||
         is_cond_branch(insn.op) || insn.op == Opcode::MovRI) {
       mark(static_cast<Addr>(insn.imm));
     }
-    if (insn.op == Opcode::Call) mark(base_ + i + 1);  // return site
+    if (insn.op == Opcode::Call) mark(program.base() + i + 1);  // return site
   }
-  for (const auto& [name, addr] : symbols_) mark(addr);
+  for (const auto& [name, addr] : program.symbols()) mark(addr);
+  return landing;
+}
+
+void Program::compute_fusion() {
+  for (Instruction& insn : code_) insn.fused = 0;
+  if (code_.size() < 2) return;
+
+  // A pair whose *tail* (the Jcc slot) is a landing point must not fuse —
+  // a jump arriving there must execute the bare Jcc, and fusing the pair
+  // would make the head's basic block extend across an incoming edge.
+  const std::vector<bool> landing = compute_landing_sites(*this);
 
   for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
     if (!is_fusable_head(code_[i].op)) continue;

@@ -16,6 +16,20 @@
 
 namespace xentry::sim {
 
+/// Conservative static landing set of a program: one flag per instruction
+/// slot, true when control flow can enter that slot without falling
+/// through from the previous one.  Covers direct branch/call targets,
+/// named symbols (dispatch entries), call return sites, and any MovRI
+/// immediate that lands in the code image (material for indirect jumps
+/// through a register and for manually pushed return addresses).
+///
+/// This is the single source of truth for "where can control arrive":
+/// Program::compute_fusion consumes it (a pair whose Jcc slot is a
+/// landing point must not fuse) and the analysis subsystem's CFG builder
+/// consumes it (every landing point is a basic-block leader), so the
+/// fuser and the verifier can never disagree about landing legality.
+std::vector<bool> compute_landing_sites(const class Program& program);
+
 /// Macro-op fusion metadata for one instruction slot, computed once at
 /// assembly time.  When `fused` is set, the slot holds a Cmp*/Test* whose
 /// immediate successor is a direct conditional jump and no control flow can

@@ -6,6 +6,12 @@
 // before it ever runs, so microvisor bugs surface as build-time
 // diagnostics rather than as mysterious "fault-free" traps that would
 // poison every detection statistic.
+//
+// The implementation lives in the analysis library (src/analysis): the
+// verifier walks the same basic-block CFG the control-flow-integrity
+// detector replays against at runtime, so branch-target legality, fusion
+// landing-site rules, and verifier diagnostics share one source of truth.
+// Linking xentry_analysis is what provides verify_program.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +27,14 @@ struct VerifierIssue {
     BranchOutOfRange,   ///< direct branch/call target outside the text
     BranchIntoPadding,  ///< direct branch/call target is a Ud slot
     FallthroughIntoPadding,  ///< non-terminal instruction precedes Ud
-    UnknownAssertId,    ///< assertion id outside the registered range
-    CallTargetNotSymbol ///< call lands where no symbol begins
+    UnknownAssertId,     ///< assertion id outside the registered range
+    CallTargetNotSymbol, ///< call lands where no symbol begins
+    /// Code no static control path reaches: not a symbol entry, not a
+    /// branch/call target, not a call return site, not a MovRI code
+    /// immediate, and not reachable by falling through from any of those.
+    /// The peephole verifier could not express this; the CFG-based one
+    /// reports it per basic block (addr = block start, target = block end).
+    UnreachableBlock
   };
   Kind kind;
   Addr addr = 0;       ///< offending instruction

@@ -13,10 +13,25 @@ AssertionRegistry::AssertionRegistry() {
 
 void AssertionRegistry::register_assertion(std::uint32_t id,
                                            std::string description) {
+  if (id >= analysis::kDerivedAssertBase) {
+    throw std::invalid_argument(
+        "AssertionRegistry: id " + std::to_string(id) +
+        " is inside the reserved derived-assertion partition");
+  }
   if (!entries_.emplace(id, std::move(description)).second) {
     throw std::invalid_argument("AssertionRegistry: duplicate id " +
                                 std::to_string(id));
   }
+}
+
+void AssertionRegistry::register_derived(
+    const analysis::DerivedAssertion& derived) {
+  if (derived.id < analysis::kDerivedAssertBase) {
+    throw std::invalid_argument(
+        "AssertionRegistry: derived assertion id " +
+        std::to_string(derived.id) + " below the reserved partition");
+  }
+  entries_.insert_or_assign(derived.id, derived.description);
 }
 
 const std::string& AssertionRegistry::description(std::uint32_t id) const {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/artifacts.hpp"
 #include "hv/microvisor.hpp"
 
 namespace xentry {
@@ -22,8 +23,15 @@ class AssertionRegistry {
   AssertionRegistry();
 
   /// Registers a custom assertion id (for extensions).  Throws on
-  /// duplicates.
+  /// duplicates and on ids inside the reserved derived partition
+  /// ([analysis::kDerivedAssertBase, ...): those ids belong to the
+  /// static analyzer and collide across analysis runs otherwise).
   void register_assertion(std::uint32_t id, std::string description);
+
+  /// Registers an analyzer-derived assertion.  Throws when the id lies
+  /// outside the reserved partition; re-registering the same id replaces
+  /// the description (artifacts may be re-installed).
+  void register_derived(const analysis::DerivedAssertion& derived);
 
   bool known(std::uint32_t id) const { return entries_.count(id) != 0; }
   const std::string& description(std::uint32_t id) const;

@@ -1,5 +1,7 @@
 #include "xentry/framework.hpp"
 
+#include "analysis/cfi.hpp"
+
 namespace xentry {
 
 std::string_view technique_name(Technique t) {
@@ -9,6 +11,7 @@ std::string_view technique_name(Technique t) {
     case Technique::SoftwareAssertion: return "sw_assertion";
     case Technique::VmTransition: return "vm_transition";
     case Technique::StackRedundancy: return "stack_redundancy";
+    case Technique::ControlFlow: return "control_flow";
   }
   return "?";
 }
@@ -27,12 +30,30 @@ void Xentry::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.handler_length = &registry->histogram("xentry.handler_length");
   metrics_.detection_latency =
       &registry->histogram("xentry.detection_latency");
+  metrics_.cfi_checks = &registry->counter("xentry.cfi.checks");
+  metrics_.cfi_edge_misses = &registry->counter("xentry.cfi.edge_misses");
+  metrics_.cfi_derived_fires = &registry->counter("xentry.cfi.derived_fires");
+}
+
+void Xentry::set_analysis(const analysis::AnalysisArtifacts* artifacts) {
+  analysis_ = artifacts;
+  if (artifacts == nullptr) return;
+  for (const analysis::DerivedAssertion& d : artifacts->derived) {
+    registry_.register_derived(d);
+  }
 }
 
 Observation Xentry::observe(hv::Machine& machine,
                             const hv::Activation& activation,
                             hv::RunOptions opts) {
   opts.arm_counters = cfg_.transition_detection;
+  const bool cfi = cfi_active();
+  if (cfi && opts.trace == nullptr) {
+    // CFI replays the retired-instruction trace; attach a sink when the
+    // caller (unlike the campaign) did not request one.
+    scratch_trace_.clear();
+    opts.trace = &scratch_trace_;
+  }
   Observation obs;
   obs.run = machine.run(activation, opts);
   obs.features = FeatureVector::from(activation.reason, obs.run.counters);
@@ -61,12 +82,23 @@ Observation Xentry::observe(hv::Machine& machine,
         obs.detection_step = obs.run.trap_step;
       }
     }
+    // A trap the parser let pass may still have taken a wild edge on the
+    // way: replay the partial trace (no gate, so no range checks).
+    if (!obs.detected && cfi) {
+      check_control_flow(machine, activation, *opts.trace,
+                         /*reached_vm_entry=*/false, obs);
+    }
     record_detection_metrics(obs);
     return obs;
   }
 
-  // VM entry: transition detection before the guest resumes.
-  if (cfg_.transition_detection && detector_.has_model() &&
+  // VM entry: CFI first (deterministic evidence), then the learned
+  // transition detector on what CFI cannot prove wrong.
+  if (cfi) {
+    check_control_flow(machine, activation, *opts.trace,
+                       /*reached_vm_entry=*/true, obs);
+  }
+  if (!obs.detected && cfg_.transition_detection && detector_.has_model() &&
       detector_.flag(obs.features)) {
     obs.detected = true;
     obs.technique = Technique::VmTransition;
@@ -74,6 +106,34 @@ Observation Xentry::observe(hv::Machine& machine,
   }
   record_detection_metrics(obs);
   return obs;
+}
+
+void Xentry::check_control_flow(hv::Machine& machine,
+                                const hv::Activation& activation,
+                                const std::vector<sim::Addr>& trace,
+                                bool reached_vm_entry, Observation& obs) {
+  const sim::Addr hlt_addr =
+      reached_vm_entry ? machine.cpu().reg(sim::Reg::rip) : analysis::kNoAddr;
+  const analysis::CfiResult r = analysis::check_trace(
+      *analysis_, trace, machine.handler_entry(activation.reason), hlt_addr,
+      reached_vm_entry ? &machine.cpu().regs() : nullptr);
+  if (metrics_.cfi_checks != nullptr) {
+    metrics_.cfi_checks->inc();
+    if (r.kind == analysis::CfiResult::Kind::DerivedRange) {
+      metrics_.cfi_derived_fires->inc();
+    } else if (!r.ok()) {
+      metrics_.cfi_edge_misses->inc();
+    }
+  }
+  if (r.ok()) return;
+  if (r.kind == analysis::CfiResult::Kind::DerivedRange) {
+    registry_.record_fire(r.derived_id);
+  }
+  obs.detected = true;
+  obs.technique = Technique::ControlFlow;
+  obs.detection_step = r.kind == analysis::CfiResult::Kind::DerivedRange
+                           ? obs.run.steps
+                           : r.step;
 }
 
 void Xentry::record_detection_metrics(const Observation& obs) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "analysis/artifacts.hpp"
 #include "hv/machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/options.hpp"
@@ -30,9 +31,12 @@ enum class Technique : std::uint8_t {
   VmTransition,
   /// Extension: Section VI's selective stack-value redundancy.
   StackRedundancy,
+  /// Extension: control-flow integrity against the statically computed
+  /// CFG (legal-edge replay + analyzer-derived range assertions).
+  ControlFlow,
 };
 
-inline constexpr int kNumTechniques = 5;
+inline constexpr int kNumTechniques = 6;
 
 std::string_view technique_name(Technique t);
 
@@ -43,6 +47,12 @@ struct XentryConfig {
   bool runtime_detection = true;
   /// VM transition detection at every VM entry (needs a trained model).
   bool transition_detection = true;
+  /// Control-flow-integrity detection: replay each run's retired trace
+  /// against the statically computed legal-edge sets and check derived
+  /// range assertions at the VM-entry gate.  Needs analysis artifacts
+  /// via Xentry::set_analysis; off by default — when off, observe() is
+  /// bit-identical to a build without the analysis subsystem.
+  bool control_flow_detection = false;
   ExceptionParser::Policy exception_policy{};
   /// Observability gates for the framework layer (detections per
   /// technique, handler-length and detection-latency histograms).
@@ -75,6 +85,13 @@ class Xentry {
   /// Installs the trained classification model (flattened rules).
   void set_model(ml::RuleSet rules) { detector_.set_model(std::move(rules)); }
 
+  /// Installs static-analysis artifacts for control-flow-integrity
+  /// detection (borrowed, must outlive this Xentry; nullptr detaches).
+  /// Derived range assertions are registered into the assertion registry
+  /// under the reserved id partition so reports can name which derived
+  /// invariant a fault violated.
+  void set_analysis(const analysis::AnalysisArtifacts* artifacts);
+
   /// Points framework-level metrics at a registry (shard-local; the
   /// caller owns it and must keep it alive).  Handles are resolved once
   /// here so observe() bumps plain cells — no name lookups on the hot
@@ -90,6 +107,10 @@ class Xentry {
 
  private:
   void record_detection_metrics(const Observation& obs);
+  void check_control_flow(hv::Machine& machine,
+                          const hv::Activation& activation,
+                          const std::vector<sim::Addr>& trace,
+                          bool reached_vm_entry, Observation& obs);
 
   /// Pre-resolved metric handles (see set_metrics).  `observations` is
   /// the liveness gate: nullptr means metrics are off.
@@ -98,13 +119,24 @@ class Xentry {
     obs::Counter* detections[kNumTechniques] = {};
     obs::Log2Histogram* handler_length = nullptr;
     obs::Log2Histogram* detection_latency = nullptr;
+    obs::Counter* cfi_checks = nullptr;
+    obs::Counter* cfi_edge_misses = nullptr;
+    obs::Counter* cfi_derived_fires = nullptr;
   };
+
+  bool cfi_active() const {
+    return cfg_.control_flow_detection && analysis_ != nullptr;
+  }
 
   XentryConfig cfg_;
   ExceptionParser parser_;
   AssertionRegistry registry_;
   TransitionDetector detector_;
   MetricHandles metrics_{};
+  const analysis::AnalysisArtifacts* analysis_ = nullptr;
+  /// Trace sink observe() attaches when CFI is active and the caller did
+  /// not supply one (reused across observations).
+  std::vector<sim::Addr> scratch_trace_;
 };
 
 }  // namespace xentry

@@ -1,0 +1,227 @@
+#include "analysis/cfi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hv/machine.hpp"
+#include "hv/microvisor.hpp"
+#include "sim/assembler.hpp"
+#include "workloads/workload.hpp"
+
+namespace xentry::analysis {
+namespace {
+
+using sim::Addr;
+using sim::Assembler;
+using sim::Program;
+using sim::Reg;
+using sim::Word;
+
+std::array<Word, sim::kNumArchRegs> regs_with(unsigned reg, Word value) {
+  std::array<Word, sim::kNumArchRegs> regs{};
+  regs[reg] = value;
+  return regs;
+}
+
+AnalysisArtifacts straight_line() {
+  // 0: movi rax, 7   1: movi rbx, 50   2: hlt
+  Assembler as(0);
+  as.global("main");
+  as.movi(Reg::rax, 7);
+  as.movi(Reg::rbx, 50);
+  as.hlt();
+  return analyze_program(as.finish());
+}
+
+TEST(CfiTest, CleanTraceAndGatePass) {
+  const AnalysisArtifacts art = straight_line();
+  auto regs = regs_with(0, 7);
+  regs[1] = 50;
+  const CfiResult r = check_trace(art, {0, 1}, /*expected_entry=*/0,
+                                  /*hlt_addr=*/2, &regs);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.edges_checked, 3u);  // entry + one step + virtual final edge
+  EXPECT_EQ(r.ranges_checked, 2u);
+}
+
+TEST(CfiTest, BadEntryDetected) {
+  const AnalysisArtifacts art = straight_line();
+  const CfiResult r =
+      check_trace(art, {1, 2}, /*expected_entry=*/0, kNoAddr, nullptr);
+  EXPECT_EQ(r.kind, CfiResult::Kind::BadEntry);
+  EXPECT_EQ(r.from, 0u);
+  EXPECT_EQ(r.to, 1u);
+}
+
+TEST(CfiTest, SkippedInstructionIsWildEdge) {
+  const AnalysisArtifacts art = straight_line();
+  // 0 -> 2 inside the block skips slot 1: sequential flow violated.
+  const CfiResult r =
+      check_trace(art, {0, 2}, /*expected_entry=*/0, kNoAddr, nullptr);
+  EXPECT_EQ(r.kind, CfiResult::Kind::WildEdge);
+  EXPECT_EQ(r.step, 1u);
+  EXPECT_EQ(r.from, 0u);
+  EXPECT_EQ(r.to, 2u);
+}
+
+TEST(CfiTest, WildEdgeOnVirtualFinalStep) {
+  const AnalysisArtifacts art = straight_line();
+  // Trace ends at 0 but the gate is the Hlt at 2: the 0 -> 2 edge is wild.
+  const CfiResult r =
+      check_trace(art, {0}, /*expected_entry=*/0, /*hlt_addr=*/2, nullptr);
+  EXPECT_EQ(r.kind, CfiResult::Kind::WildEdge);
+  EXPECT_EQ(r.step, 1u);
+}
+
+TEST(CfiTest, DerivedRangeViolationDetected) {
+  const AnalysisArtifacts art = straight_line();
+  ASSERT_EQ(art.derived.size(), 2u);
+  auto regs = regs_with(0, 8);  // rax must be exactly 7
+  regs[1] = 50;
+  const CfiResult r =
+      check_trace(art, {0, 1}, /*expected_entry=*/0, /*hlt_addr=*/2, &regs);
+  EXPECT_EQ(r.kind, CfiResult::Kind::DerivedRange);
+  EXPECT_EQ(r.derived_id, kDerivedAssertBase);
+  EXPECT_EQ(r.reg, 0u);
+  EXPECT_EQ(r.value, 8);
+  EXPECT_EQ(r.lo, 7);
+  EXPECT_EQ(r.hi, 7);
+}
+
+TEST(CfiTest, CallReturnTraceAccepted) {
+  Assembler as(100);
+  as.global("main");
+  as.movi(Reg::rax, 1);  // 100
+  as.call("leaf");       // 101
+  as.hlt();              // 102
+  as.pad_ud(2);          // 103, 104
+  as.global("leaf");
+  as.ret();  // 105
+  const AnalysisArtifacts art = analyze_program(as.finish());
+  const CfiResult ok = check_trace(art, {100, 101, 105},
+                                   /*expected_entry=*/100,
+                                   /*hlt_addr=*/102, nullptr);
+  EXPECT_TRUE(ok.ok());
+  // Returning anywhere but the recorded return site is a wild edge.
+  const CfiResult bad = check_trace(art, {100, 101, 105},
+                                    /*expected_entry=*/100,
+                                    /*hlt_addr=*/100, nullptr);
+  EXPECT_EQ(bad.kind, CfiResult::Kind::WildEdge);
+}
+
+TEST(CfiTest, UnresolvedIndirectJumpAcceptsAnyValidTarget) {
+  Assembler as(0);
+  as.global("main");
+  as.movi(Reg::rax, 3);  // 0
+  as.jmp_reg(Reg::rax);  // 1
+  as.pad_ud(1);          // 2
+  as.hlt();              // 3
+  const AnalysisArtifacts art = analyze_program(as.finish());
+  EXPECT_TRUE(
+      check_trace(art, {0, 1}, /*expected_entry=*/0, /*hlt_addr=*/3, nullptr)
+          .ok());
+  // ... but never a landing in padding.
+  const CfiResult pad =
+      check_trace(art, {0, 1, 2}, /*expected_entry=*/0, kNoAddr, nullptr);
+  EXPECT_EQ(pad.kind, CfiResult::Kind::WildEdge);
+}
+
+TEST(CfiTest, ResolvedIndirectJumpRestrictsTargets) {
+  Assembler as(0);
+  as.global("main");
+  as.movi(Reg::rax, 4);  // 0
+  as.jmp_reg(Reg::rax);  // 1
+  as.hlt();              // 2  (legal instruction, but not in the set)
+  as.pad_ud(1);          // 3
+  as.hlt();              // 4
+  AnalyzeOptions opt;
+  opt.cfg.indirect_targets.emplace(1, std::vector<Addr>{4});
+  const AnalysisArtifacts art = analyze_program(as.finish(), opt);
+  EXPECT_TRUE(
+      check_trace(art, {0, 1}, /*expected_entry=*/0, /*hlt_addr=*/4, nullptr)
+          .ok());
+  const CfiResult off =
+      check_trace(art, {0, 1}, /*expected_entry=*/0, /*hlt_addr=*/2, nullptr);
+  EXPECT_EQ(off.kind, CfiResult::Kind::WildEdge);
+}
+
+TEST(CfiTest, EmptyTraceChecksGateOnly) {
+  const AnalysisArtifacts art = straight_line();
+  // Degenerate activation: nothing retired, gate is the entry itself.
+  EXPECT_TRUE(check_trace(art, {}, /*expected_entry=*/0, kNoAddr, nullptr)
+                  .ok());  // nothing to check at all
+  const CfiResult r =
+      check_trace(art, {}, /*expected_entry=*/0, /*hlt_addr=*/1, nullptr);
+  EXPECT_EQ(r.kind, CfiResult::Kind::BadEntry);
+}
+
+// -- the shipped microvisor under analysis ---------------------------------
+
+TEST(CfiMicrovisorTest, AnalyzesCleanInEveryConfiguration) {
+  const hv::MicrovisorOptions configs[] = {
+      {3, 1, true, false}, {3, 1, true, true},  {3, 1, false, false},
+      {2, 1, true, false}, {4, 2, true, true},  {8, 1, true, false},
+      {1, 1, true, false},
+  };
+  for (const hv::MicrovisorOptions& opt : configs) {
+    const hv::Microvisor mv = hv::build_microvisor(opt);
+    const AnalysisArtifacts art =
+        analyze_program(mv.program, hv::analyze_options(mv));
+    EXPECT_TRUE(art.verifier.ok()) << art.to_string();
+    EXPECT_TRUE(art.stack_warnings.empty()) << art.to_string();
+    EXPECT_EQ(art.finding_count(), 0u);
+    EXPECT_GT(art.reachable_blocks(), 50u);
+    // The multicall dispatch is resolved, so no block accepts any
+    // successor: every edge in the runtime check is a real constraint.
+    for (const BasicBlock& b : art.cfg.blocks) {
+      EXPECT_FALSE(b.accept_any_succ);
+    }
+  }
+}
+
+TEST(CfiMicrovisorTest, FaultFreeRunsPassEveryCheck) {
+  hv::Machine machine{hv::MicrovisorOptions{}};
+  const AnalysisArtifacts art = analyze_program(
+      machine.microvisor().program, hv::analyze_options(machine.microvisor()));
+  ASSERT_TRUE(art.verifier.ok()) << art.to_string();
+
+  wl::WorkloadProfile profile;
+  for (const hv::ExitReason& r : hv::all_exit_reasons()) {
+    profile.mix.emplace_back(r, 1.0);
+  }
+  wl::WorkloadGenerator gen(machine, profile, 42);
+  std::vector<Addr> trace;
+  int gated = 0;
+  for (int i = 0; i < 400; ++i) {
+    const hv::Activation act = gen.next();
+    trace.clear();
+    hv::RunOptions opts;
+    opts.trace = &trace;
+    const hv::RunResult run = machine.run(act, opts);
+    ASSERT_TRUE(run.reached_vm_entry) << "activation " << i;
+    ++gated;
+    const CfiResult r = check_trace(
+        art, trace, machine.handler_entry(act.reason),
+        machine.cpu().reg(Reg::rip), &machine.cpu().regs());
+    ASSERT_TRUE(r.ok()) << "activation " << i << ": kind "
+                        << static_cast<int>(r.kind) << " at step " << r.step
+                        << " (" << r.from << " -> " << r.to << ")";
+    EXPECT_GT(r.edges_checked, 0u);
+  }
+  EXPECT_EQ(gated, 400);
+}
+
+TEST(CfiMicrovisorTest, DerivedAssertionsExistAndNeverFireFaultFree) {
+  hv::Machine machine{hv::MicrovisorOptions{}};
+  const AnalysisArtifacts art = analyze_program(
+      machine.microvisor().program, hv::analyze_options(machine.microvisor()));
+  // The analyzer proves at least some nontrivial gate invariants.
+  EXPECT_FALSE(art.derived.empty());
+  for (const DerivedAssertion& d : art.derived) {
+    EXPECT_GE(d.id, kDerivedAssertBase);
+    EXPECT_LE(d.lo, d.hi);
+    EXPECT_FALSE(d.description.empty());
+  }
+}
+
+}  // namespace
+}  // namespace xentry::analysis

@@ -1,0 +1,307 @@
+#include "analysis/dataflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/artifacts.hpp"
+#include "sim/assembler.hpp"
+
+namespace xentry::analysis {
+namespace {
+
+using sim::Addr;
+using sim::Assembler;
+using sim::Instruction;
+using sim::Opcode;
+using sim::Program;
+using sim::Reg;
+
+// All programs here assemble at base 1000 so small immediates never
+// alias code addresses (a MovRI immediate landing in code becomes a
+// landing site and perturbs the CFG).
+
+RegState top_state() {
+  RegState s;
+  s.fill(Interval::top());
+  return s;
+}
+
+TEST(IntervalTest, JoinMeetAddSub) {
+  const Interval a{1, 5}, b{3, 10};
+  EXPECT_EQ(interval_join(a, b), (Interval{1, 10}));
+  EXPECT_EQ(interval_meet(a, b), (Interval{3, 5}));
+  EXPECT_EQ(interval_add(a, b), (Interval{4, 15}));
+  EXPECT_EQ(interval_sub(a, b), (Interval{-9, 2}));
+  // Potential overflow widens to top instead of wrapping.
+  EXPECT_TRUE(interval_add(Interval{Interval::kMax - 1, Interval::kMax},
+                           Interval::exact(2))
+                  .is_top());
+  // Empty intervals absorb in join and propagate through arithmetic.
+  const Interval empty{1, 0};
+  EXPECT_EQ(interval_join(empty, a), a);
+  EXPECT_TRUE(interval_add(empty, a).is_empty());
+}
+
+TEST(ApplyInstructionTest, TransferFunctions) {
+  RegState s = top_state();
+  apply_instruction({Opcode::MovRI, Reg::rax, Reg::rax, 7, 0}, s);
+  EXPECT_EQ(s[0], Interval::exact(7));
+  apply_instruction({Opcode::AddRI, Reg::rax, Reg::rax, 3, 0}, s);
+  EXPECT_EQ(s[0], Interval::exact(10));
+  apply_instruction({Opcode::MovRR, Reg::rbx, Reg::rax, 0, 0}, s);
+  EXPECT_EQ(s[1], Interval::exact(10));
+  apply_instruction({Opcode::XorRR, Reg::rcx, Reg::rcx, 0, 0}, s);
+  EXPECT_EQ(s[2], Interval::exact(0));
+  apply_instruction({Opcode::AndRI, Reg::rdx, Reg::rdx, 15, 0}, s);
+  EXPECT_EQ(s[3], (Interval{0, 15}));
+  apply_instruction({Opcode::Load, Reg::rax, Reg::rbx, 0, 0}, s);
+  EXPECT_TRUE(s[0].is_top());
+  apply_instruction({Opcode::AssertLeRI, Reg::rax, Reg::rax, 100, 1}, s);
+  EXPECT_EQ(s[0].hi, 100);
+  apply_instruction({Opcode::AssertGeRI, Reg::rax, Reg::rax, 0, 2}, s);
+  EXPECT_EQ(s[0], (Interval{0, 100}));
+  apply_instruction({Opcode::ShrRI, Reg::rax, Reg::rax, 2, 0}, s);
+  EXPECT_EQ(s[0], (Interval{0, 25}));
+  apply_instruction({Opcode::Neg, Reg::rax, Reg::rax, 0, 0}, s);
+  EXPECT_EQ(s[0], (Interval{-25, 0}));
+  apply_instruction({Opcode::Not, Reg::rax, Reg::rax, 0, 0}, s);
+  EXPECT_EQ(s[0], (Interval{-1, 24}));
+}
+
+TEST(DataflowTest, MoviSeedsFlowThroughArithmetic) {
+  Assembler as(1000);
+  as.global("main");
+  as.movi(Reg::rax, 5);
+  as.movi(Reg::rbx, 7);
+  as.add(Reg::rax, Reg::rbx);
+  as.hlt();
+  const Program p = as.finish();
+  const AnalysisArtifacts art = analyze_program(p);
+  ASSERT_EQ(art.cfg.blocks.size(), 1u);
+  EXPECT_TRUE(art.facts[0].reachable);
+  EXPECT_TRUE(art.facts[0].in_valid);
+  // Derived assertions at the Hlt gate capture the propagated values.
+  const auto [lo, hi] = art.derived_at(p.base() + 3);
+  ASSERT_EQ(hi - lo, 2u);
+  EXPECT_EQ(art.derived[lo].reg, 0u);  // rax
+  EXPECT_EQ(art.derived[lo].lo, 12);
+  EXPECT_EQ(art.derived[lo].hi, 12);
+  EXPECT_EQ(art.derived[lo + 1].reg, 1u);  // rbx
+  EXPECT_EQ(art.derived[lo + 1].lo, 7);
+  EXPECT_EQ(art.derived[lo].id, kDerivedAssertBase);
+}
+
+TEST(DataflowTest, BranchEdgesRefineIntervals) {
+  Assembler as(1000);
+  const auto small = as.make_label();
+  as.global("main");
+  as.load(Reg::rax, Reg::rbx);  // 1000: rax unknown
+  as.cmpi(Reg::rax, 10);        // 1001
+  as.jl(small);                 // 1002
+  as.movi(Reg::rbx, 1);         // 1003: here rax >= 10
+  as.hlt();                     // 1004
+  as.bind(small);
+  as.hlt();  // 1005: here rax <= 9
+  const Program p = as.finish();
+  const ControlFlowGraph cfg = build_cfg(p);
+  const DataflowResult df = run_dataflow(p, cfg);
+
+  const std::uint32_t b_ge = cfg.block_at(1003);
+  const std::uint32_t b_lt = cfg.block_at(1005);
+  ASSERT_TRUE(df.facts[b_ge].in_valid);
+  ASSERT_TRUE(df.facts[b_lt].in_valid);
+  EXPECT_EQ(df.in_state[b_ge][0], (Interval{10, Interval::kMax}));
+  EXPECT_EQ(df.in_state[b_lt][0], (Interval{Interval::kMin, 9}));
+}
+
+TEST(DataflowTest, GuardInAnotherBlockDoesNotRefine) {
+  // The Jcc is itself a branch target, so it sits alone in its block
+  // with the Cmp in a different one: refinement must stay conservative.
+  Assembler as(1000);
+  const auto jcc = as.make_label();
+  const auto out = as.make_label();
+  as.global("main");
+  as.load(Reg::rax, Reg::rbx);  // 1000
+  as.cmpi(Reg::rax, 10);        // 1001
+  as.jmp(jcc);                  // 1002
+  as.pad_ud(1);                 // 1003
+  as.bind(jcc);
+  as.jl(out);  // 1004: single-instruction block
+  as.hlt();    // 1005
+  as.bind(out);
+  as.hlt();  // 1006
+  const Program p = as.finish();
+  const ControlFlowGraph cfg = build_cfg(p);
+  const DataflowResult df = run_dataflow(p, cfg);
+  const std::uint32_t b_taken = cfg.block_at(1006);
+  ASSERT_TRUE(df.facts[b_taken].in_valid);
+  EXPECT_TRUE(df.in_state[b_taken][0].is_top());
+}
+
+TEST(DataflowTest, InfeasibleEdgeIsPruned) {
+  Assembler as(1000);
+  const auto dead = as.make_label();
+  as.global("main");
+  as.movi(Reg::rax, 5);  // 1000
+  as.cmpi(Reg::rax, 5);  // 1001
+  as.jne(dead);          // 1002: can never be taken fault-free
+  as.hlt();              // 1003
+  as.bind(dead);
+  as.hlt();  // 1004
+  const Program p = as.finish();
+  const ControlFlowGraph cfg = build_cfg(p);
+  const DataflowResult df = run_dataflow(p, cfg);
+  const std::uint32_t b_dead = cfg.block_at(1004);
+  // Statically an edge exists (reachable), but the interval analysis
+  // proves it infeasible and never delivers a state.
+  EXPECT_TRUE(df.facts[b_dead].reachable);
+  EXPECT_FALSE(df.facts[b_dead].in_valid);
+}
+
+TEST(DataflowTest, UnreachableBlockDetected) {
+  Assembler as(1000);
+  as.global("main");
+  as.movi(Reg::rax, 1);  // 1000
+  as.hlt();              // 1001
+  as.nop();              // 1002: orphaned
+  as.hlt();              // 1003
+  const Program p = as.finish();
+  const ControlFlowGraph cfg = build_cfg(p);
+  const DataflowResult df = run_dataflow(p, cfg);
+  const std::uint32_t b = cfg.block_at(1002);
+  ASSERT_NE(b, kNoBlock);
+  EXPECT_FALSE(df.facts[b].reachable);
+  EXPECT_FALSE(df.facts[b].in_valid);
+  EXPECT_EQ(df.facts[b].idom, kNoBlock);
+}
+
+TEST(DataflowTest, DiamondDominators) {
+  Assembler as(1000);
+  const auto left = as.make_label();
+  const auto merge = as.make_label();
+  as.global("main");
+  as.load(Reg::rax, Reg::rbx);  // 1000
+  as.cmpi(Reg::rax, 0);         // 1001
+  as.je(left);                  // 1002
+  as.movi(Reg::rbx, 1);         // 1003
+  as.jmp(merge);                // 1004
+  as.bind(left);
+  as.movi(Reg::rbx, 2);  // 1005
+  as.bind(merge);
+  as.hlt();  // 1006
+  const Program p = as.finish();
+  const ControlFlowGraph cfg = build_cfg(p);
+  const DataflowResult df = run_dataflow(p, cfg);
+  const std::uint32_t b_head = cfg.block_at(1000);
+  const std::uint32_t b_right = cfg.block_at(1003);
+  const std::uint32_t b_left = cfg.block_at(1005);
+  const std::uint32_t b_merge = cfg.block_at(1006);
+  EXPECT_EQ(df.facts[b_head].idom, kNoBlock);  // root
+  EXPECT_EQ(df.facts[b_right].idom, b_head);
+  EXPECT_EQ(df.facts[b_left].idom, b_head);
+  EXPECT_EQ(df.facts[b_merge].idom, b_head);
+  // The merge point joins both arms' rbx values.
+  EXPECT_EQ(df.in_state[b_merge][1], (Interval{1, 2}));
+}
+
+TEST(DataflowTest, LoopWideningTerminatesWithExitBound) {
+  Assembler as(1000);
+  as.global("main");
+  as.movi(Reg::rax, 0);  // 1000
+  const auto loop = as.here();
+  as.inc(Reg::rax);        // 1001
+  as.cmpi(Reg::rax, 100);  // 1002
+  as.jl(loop);             // 1003
+  as.hlt();                // 1004: rax >= 100 on exit
+  const Program p = as.finish();
+  const AnalysisArtifacts art = analyze_program(p);
+  const std::uint32_t b_exit = art.cfg.block_at(1004);
+  ASSERT_TRUE(art.facts[b_exit].in_valid);
+  EXPECT_EQ(art.block_in[b_exit][0].lo, 100);
+  const auto [lo, hi] = art.derived_at(1004);
+  ASSERT_EQ(hi - lo, 1u);
+  EXPECT_EQ(art.derived[lo].lo, 100);
+}
+
+TEST(DataflowTest, StackDepthBalancedFunctionIsQuiet) {
+  Assembler as(1000);
+  as.global("main");
+  as.push(Reg::rbx);
+  as.movi(Reg::rbx, 3);
+  as.pop(Reg::rbx);
+  as.ret();
+  const Program p = as.finish();
+  const ControlFlowGraph cfg = build_cfg(p);
+  const DataflowResult df = run_dataflow(p, cfg);
+  EXPECT_TRUE(df.stack_warnings.empty());
+}
+
+TEST(DataflowTest, RetWithNonEmptyFrameWarns) {
+  Assembler as(1000);
+  as.global("main");
+  as.push(Reg::rbx);
+  as.ret();
+  const Program p = as.finish();
+  const DataflowResult df = run_dataflow(p, build_cfg(p));
+  ASSERT_EQ(df.stack_warnings.size(), 1u);
+  EXPECT_EQ(df.stack_warnings[0].addr, 1001u);
+  EXPECT_EQ(df.stack_warnings[0].depth, 1);
+  EXPECT_NE(df.stack_warnings[0].what.find("non-empty"), std::string::npos);
+}
+
+TEST(DataflowTest, PopBelowFrameWarns) {
+  Assembler as(1000);
+  as.global("main");
+  as.pop(Reg::rbx);
+  as.hlt();
+  const Program p = as.finish();
+  const DataflowResult df = run_dataflow(p, build_cfg(p));
+  ASSERT_EQ(df.stack_warnings.size(), 1u);
+  EXPECT_NE(df.stack_warnings[0].what.find("pop below"), std::string::npos);
+}
+
+TEST(DataflowTest, CallPreservesFrameDepthAcrossReturnSite) {
+  Assembler as(1000);
+  as.global("main");
+  as.push(Reg::rbx);  // 1000
+  as.call("leaf");    // 1001
+  as.pop(Reg::rbx);   // 1002: frame still holds the push
+  as.ret();           // 1003
+  as.pad_ud(1);       // 1004
+  as.global("leaf");
+  as.ret();  // 1005
+  const Program p = as.finish();
+  const ControlFlowGraph cfg = build_cfg(p);
+  const DataflowResult df = run_dataflow(p, cfg);
+  EXPECT_TRUE(df.stack_warnings.empty());
+  const std::uint32_t b_site = cfg.block_at(1002);
+  EXPECT_EQ(df.facts[b_site].stack_in, 1);
+}
+
+TEST(DataflowTest, EmptyProgramProducesNoFacts) {
+  Assembler as(1000);
+  const Program p = as.finish();
+  const ControlFlowGraph cfg = build_cfg(p);
+  const DataflowResult df = run_dataflow(p, cfg);
+  EXPECT_TRUE(df.facts.empty());
+  EXPECT_TRUE(df.stack_warnings.empty());
+  const AnalysisArtifacts art = analyze_program(p);
+  EXPECT_EQ(art.finding_count(), 0u);
+  EXPECT_TRUE(art.derived.empty());
+}
+
+TEST(DataflowTest, DerivedAssertionCapRespected) {
+  Assembler as(1000);
+  as.global("main");
+  for (int r = 0; r < 8; ++r) {
+    as.movi(static_cast<Reg>(r), 100 + r);
+  }
+  as.hlt();
+  const Program p = as.finish();
+  AnalyzeOptions opt;
+  opt.max_derived = 3;
+  const AnalysisArtifacts art = analyze_program(p, opt);
+  EXPECT_EQ(art.derived.size(), 3u);
+}
+
+}  // namespace
+}  // namespace xentry::analysis

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <memory>
 #include <mutex>
 
+#include "analysis/artifacts.hpp"
 #include "fault/stats.hpp"
 #include "fault/training.hpp"
+#include "hv/microvisor.hpp"
 
 namespace xentry::fault {
 namespace {
@@ -200,6 +203,117 @@ TEST(CampaignTest, ValidateRejectsBadConfigs) {
   EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
   c.collect_dataset = true;
   EXPECT_NO_THROW(validate_campaign_config(c));
+}
+
+std::shared_ptr<const analysis::AnalysisArtifacts> analyze_machine(
+    const hv::MicrovisorOptions& opt) {
+  const hv::Microvisor mv = hv::build_microvisor(opt);
+  return std::make_shared<const analysis::AnalysisArtifacts>(
+      analysis::analyze_program(mv.program, hv::analyze_options(mv)));
+}
+
+TEST(CampaignTest, ControlFlowDetectionRequiresArtifacts) {
+  CampaignConfig c;
+  c.xentry.transition_detection = false;
+  c.xentry.control_flow_detection = true;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+  c.analysis = analyze_machine(c.machine);
+  EXPECT_NO_THROW(validate_campaign_config(c));
+}
+
+TEST(CampaignTest, StaleAnalysisArtifactsRejected) {
+  CampaignConfig c;
+  c.injections = 1;
+  c.xentry.transition_detection = false;
+  hv::MicrovisorOptions other = c.machine;
+  other.assertions = !other.assertions;  // different program text
+  c.analysis = analyze_machine(other);
+  EXPECT_THROW(run_campaign(c), std::invalid_argument);
+  c.analysis = analyze_machine(c.machine);
+  EXPECT_NO_THROW(run_campaign(c));
+}
+
+TEST(CampaignTest, RecordsBitIdenticalWithControlFlowDisabledVsAbsent) {
+  // The digest contract for the new technique: installing artifacts with
+  // the detection flag off must not perturb a single record.
+  CampaignConfig base;
+  base.injections = 250;
+  base.seed = 13;
+  base.shards = 2;
+  base.xentry.transition_detection = false;  // no model installed
+  CampaignConfig with_artifacts = base;
+  with_artifacts.analysis = analyze_machine(base.machine);
+  const auto a = run_campaign(base);
+  const auto b = run_campaign(with_artifacts);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_TRUE(records_identical(a.records[i], b.records[i]))
+        << "record " << i << " differs with artifacts installed";
+  }
+}
+
+TEST(CampaignTest, ControlFlowDetectionFiresAsDistinctClass) {
+  CampaignConfig cfg;
+  cfg.injections = 3000;
+  cfg.seed = 17;
+  cfg.shards = 2;
+  cfg.xentry.transition_detection = false;  // isolate the CFI technique
+  cfg.xentry.control_flow_detection = true;
+  cfg.analysis = analyze_machine(cfg.machine);
+  const auto res = run_campaign(cfg);
+  const CoverageBreakdown cov = coverage_breakdown(res.records);
+  EXPECT_GT(cov.control_flow, 0u)
+      << "a 3000-injection campaign should catch some wild edges";
+  std::size_t cfi_records = 0;
+  for (const auto& r : res.records) {
+    if (r.technique == xentry::Technique::ControlFlow) {
+      EXPECT_TRUE(r.detected);
+      ++cfi_records;
+    }
+  }
+  EXPECT_GT(cfi_records, 0u);
+
+  // Same campaign without CFI: the technique never appears.
+  CampaignConfig off = cfg;
+  off.xentry.control_flow_detection = false;
+  off.analysis = nullptr;
+  const auto plain = run_campaign(off);
+  for (const auto& r : plain.records) {
+    EXPECT_NE(r.technique, xentry::Technique::ControlFlow);
+  }
+  // CFI only adds detections on runs the other techniques passed over:
+  // total coverage can only improve.
+  const CoverageBreakdown cov_off = coverage_breakdown(plain.records);
+  EXPECT_GE(cov.coverage(), cov_off.coverage());
+}
+
+TEST(CampaignTest, ControlFlowMetricsExposed) {
+  CampaignConfig cfg;
+  cfg.injections = 400;
+  cfg.seed = 23;
+  cfg.shards = 2;
+  cfg.xentry.transition_detection = false;
+  cfg.xentry.control_flow_detection = true;
+  cfg.analysis = analyze_machine(cfg.machine);
+  cfg.obs.metrics = true;
+  const auto res = run_campaign(cfg);
+  ASSERT_NE(res.metrics.find_counter("xentry.cfi.checks"), nullptr);
+  EXPECT_GT(res.metrics.find_counter("xentry.cfi.checks")->value(), 0u);
+  std::uint64_t cfi_detections = 0;
+  for (const auto& r : res.records) {
+    cfi_detections += r.technique == xentry::Technique::ControlFlow;
+  }
+  const obs::Counter* edge = res.metrics.find_counter("xentry.cfi.edge_misses");
+  const obs::Counter* derived =
+      res.metrics.find_counter("xentry.cfi.derived_fires");
+  ASSERT_NE(edge, nullptr);
+  ASSERT_NE(derived, nullptr);
+  // Metrics count observations; records count activated faults.  A derived
+  // range check inspects register *values* at the gate, so a flipped but
+  // never-read register (not "activated" per the bookkeeping) can trip it —
+  // that observation bumps the metric while the record stays Masked.
+  EXPECT_GE(edge->value() + derived->value(), cfi_detections);
+  EXPECT_GT(cfi_detections, 0u);
 }
 
 TEST(CampaignTest, HeartbeatFiresAndFinalSampleIsExact) {

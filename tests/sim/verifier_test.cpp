@@ -85,6 +85,38 @@ TEST(VerifierTest, DetectsCallToNonSymbol) {
   EXPECT_TRUE(verify_program(p, lax).ok());
 }
 
+TEST(VerifierTest, DetectsUnreachableBlock) {
+  Assembler as(0);
+  as.global("main");
+  as.movi(Reg::rax, 42);  // 0
+  as.hlt();               // 1
+  as.nop();               // 2: no branch targets this, no fallthrough
+  as.hlt();               // 3
+  const Program p = as.finish();
+  const VerifierReport r = verify_program(p);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].kind, VerifierIssue::Kind::UnreachableBlock);
+  EXPECT_EQ(r.issues[0].addr, 2u);
+  EXPECT_EQ(r.issues[0].target, 3u);  // block extent
+}
+
+TEST(VerifierTest, ReturnSiteAndCodeImmediateLandingsAreReachable) {
+  // Blocks entered only through a manually materialized address (MovRI
+  // of a code location) or a call return site must not be flagged: the
+  // CFG treats both as external entries.
+  Assembler as(0);
+  as.global("main");
+  as.movi(Reg::rax, 5);  // 0: address of "target" below
+  as.call("leaf");       // 1
+  as.hlt();              // 2: return site
+  as.pad_ud(1);          // 3
+  as.global("leaf");
+  as.ret();     // 4
+  as.hlt();     // 5: only reachable via the rax value
+  const Program p = as.finish();
+  EXPECT_TRUE(verify_program(p).ok());
+}
+
 TEST(VerifierTest, ReportRendersIssues) {
   Assembler as(0);
   as.emit_raw({Opcode::Jmp, Reg::rax, Reg::rax, 999, 0});

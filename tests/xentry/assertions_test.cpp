@@ -31,6 +31,34 @@ TEST(AssertionRegistryTest, CustomRegistrationAndDuplicates) {
                std::invalid_argument);
 }
 
+TEST(AssertionRegistryTest, RejectsHandRegisteredIdsInDerivedPartition) {
+  AssertionRegistry reg;
+  EXPECT_THROW(reg.register_assertion(analysis::kDerivedAssertBase, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_assertion(analysis::kDerivedAssertBase + 17, "x"),
+               std::invalid_argument);
+  // The last id below the partition is still fair game.
+  EXPECT_NO_THROW(
+      reg.register_assertion(analysis::kDerivedAssertBase - 1, "edge"));
+}
+
+TEST(AssertionRegistryTest, DerivedRegistrationPartitioned) {
+  AssertionRegistry reg;
+  analysis::DerivedAssertion d;
+  d.id = analysis::kDerivedAssertBase + 3;
+  d.description = "derived: rax in [0, 8]";
+  reg.register_derived(d);
+  EXPECT_TRUE(reg.known(d.id));
+  EXPECT_EQ(reg.description(d.id), d.description);
+  // Re-installing artifacts re-registers: same id replaces, no throw.
+  d.description = "derived: rax in [0, 4]";
+  EXPECT_NO_THROW(reg.register_derived(d));
+  EXPECT_EQ(reg.description(d.id), d.description);
+  // Derived ids below the partition are analyzer bugs: reject loudly.
+  d.id = 25;
+  EXPECT_THROW(reg.register_derived(d), std::invalid_argument);
+}
+
 TEST(AssertionRegistryTest, FireCounting) {
   AssertionRegistry reg;
   EXPECT_EQ(reg.total_fires(), 0u);
