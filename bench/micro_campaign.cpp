@@ -13,7 +13,12 @@
 // trajectory.  A fourth argument enables the campaign progress heartbeat
 // on stderr (stdout stays pure JSON).
 // Usage:  micro_campaign [injections] [shards] [seed] [heartbeat_sec]
+//                        [--engine fast|reference|jit]
 //                        [--metrics-out FILE] [--forensics-out FILE]
+//   --engine         execution engine for the campaign machines (default
+//                    fast; jit runs analyze_program first and compiles the
+//                    threaded stream).  records_digest must be
+//                    bit-identical across all three — CI asserts it.
 //   --metrics-out    enable obs.metrics and write the merged registry JSON
 //   --forensics-out  enable obs.forensics and write the replay evidence
 //                    (one JSON object per qualifying record) as JSONL
@@ -21,14 +26,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/artifacts.hpp"
 #include "bench/bench_util.hpp"
 #include "fault/campaign.hpp"
 #include "fault/report.hpp"
 #include "fault/stats.hpp"
 #include "hv/machine.hpp"
+#include "hv/microvisor.hpp"
 
 namespace {
 
@@ -62,7 +70,7 @@ void print_heartbeat(const fault::HeartbeatSample& s) {
 }
 
 CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
-                            double heartbeat_sec,
+                            double heartbeat_sec, sim::EngineKind engine,
                             const std::string& metrics_out,
                             const std::string& forensics_out) {
   fault::CampaignConfig cfg;
@@ -70,6 +78,11 @@ CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
   cfg.shards = shards;
   cfg.seed = seed;
   cfg.collect_dataset = true;
+  cfg.xentry.engine = engine;
+  if (engine == sim::EngineKind::Jit) {
+    cfg.analysis = std::make_shared<analysis::AnalysisArtifacts>(
+        analysis::analyze_program(hv::build_microvisor(cfg.machine).program));
+  }
   cfg.obs.metrics = !metrics_out.empty();
   cfg.obs.forensics = !forensics_out.empty();
   if (heartbeat_sec > 0) {
@@ -148,6 +161,7 @@ SnapshotScore time_snapshot(double budget_sec) {
 
 int main(int argc, char** argv) {
   std::string metrics_out, forensics_out;
+  sim::EngineKind engine = sim::EngineKind::Fast;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -155,6 +169,21 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (arg == "--forensics-out" && i + 1 < argc) {
       forensics_out = argv[++i];
+    } else if (arg == "--engine" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "fast") {
+        engine = sim::EngineKind::Fast;
+      } else if (name == "reference") {
+        engine = sim::EngineKind::Reference;
+      } else if (name == "jit") {
+        engine = sim::EngineKind::Jit;
+      } else {
+        std::fprintf(stderr,
+                     "micro_campaign: unknown --engine '%s' (want "
+                     "fast|reference|jit)\n",
+                     name.c_str());
+        return 2;
+      }
     } else {
       positional.push_back(argv[i]);
     }
@@ -167,8 +196,9 @@ int main(int argc, char** argv) {
   const double heartbeat_sec =
       positional.size() > 3 ? std::atof(positional[3]) : 0;
 
-  const CampaignScore campaign = time_campaign(
-      injections, shards, seed, heartbeat_sec, metrics_out, forensics_out);
+  const CampaignScore campaign =
+      time_campaign(injections, shards, seed, heartbeat_sec, engine,
+                    metrics_out, forensics_out);
   const GoldenScore golden = time_golden(1.0);
   const SnapshotScore snap = time_snapshot(1.0);
 
@@ -178,6 +208,7 @@ int main(int argc, char** argv) {
       "  \"injections\": %d,\n"
       "  \"shards\": %d,\n"
       "  \"seed\": %llu,\n"
+      "  \"engine\": \"%s\",\n"
       "  \"records\": %zu,\n"
       "  \"records_digest\": \"%016llx\",\n"
       "  \"manifested\": %zu,\n"
@@ -190,7 +221,8 @@ int main(int argc, char** argv) {
       "  \"snapshot_round_trips_per_sec\": %.0f\n"
       "}\n",
       injections, shards, static_cast<unsigned long long>(seed),
-      campaign.records, static_cast<unsigned long long>(campaign.digest),
+      std::string(sim::engine_name(engine)).c_str(), campaign.records,
+      static_cast<unsigned long long>(campaign.digest),
       campaign.manifested, campaign.detected, campaign.forensics,
       campaign.elapsed,
       static_cast<double>(campaign.records) / campaign.elapsed,

@@ -8,10 +8,12 @@
 //   +trace   run_loop<true, false,false>   (golden probe runs)
 //   +mask    run_loop<false,true, false>   (exit-mask materialization)
 //   +shadow  run_loop<false,false,true>    (shadow-stack redundancy)
-// and, for each mode, both engines: the specialized fast loop (run) and
-// the single-step reference engine (run_reference).  The fast/reference
-// ratio is the payoff of mode specialization; the per-mode spread is the
-// marginal cost of each feature.
+// and, for each mode, all three engines: the threaded-code superblock
+// engine (jit), the specialized interpreter loop (fast), and the
+// single-step reference engine (reference).  The jit/fast ratio is the
+// payoff of leaving switch dispatch behind; fast/reference is the payoff
+// of mode specialization; the per-mode spread is the marginal cost of
+// each feature.
 //
 // Usage: micro_step [budget_sec_per_cell]
 // Output: JSON on stdout.
@@ -19,11 +21,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/cfg.hpp"
+#include "analysis/superblocks.hpp"
 #include "sim/assembler.hpp"
 #include "sim/cpu.hpp"
+#include "sim/jit/compiled_program.hpp"
 #include "sim/memory.hpp"
 
 namespace {
@@ -80,8 +86,9 @@ struct Cell {
 };
 
 Cell time_cell(const sim::Program& prog, const char* engine, const char* mode,
-               bool fast, bool trace, bool masks, bool shadow,
-               double budget_sec) {
+               sim::EngineKind kind,
+               const std::shared_ptr<const sim::jit::CompiledProgram>& compiled,
+               bool trace, bool masks, bool shadow, double budget_sec) {
   sim::Memory mem;
   mem.map(kDataBase, kDataSize, sim::Perm::ReadWrite, "data");
   mem.map(kStackBase, kStackSize, sim::Perm::ReadWrite, "stack");
@@ -89,6 +96,8 @@ Cell time_cell(const sim::Program& prog, const char* engine, const char* mode,
           sim::Perm::ReadWrite, "shadow_stack");
 
   sim::Cpu cpu(&prog, &mem);
+  cpu.set_compiled(compiled);
+  cpu.set_engine(kind);
   std::vector<Addr> trace_buf;
   cpu.set_mask_tracking(masks);
   if (shadow) cpu.enable_shadow_stack(kShadowOffset);
@@ -104,8 +113,7 @@ Cell time_cell(const sim::Program& prog, const char* engine, const char* mode,
         trace_buf.clear();
         cpu.set_trace(&trace_buf);
       }
-      const sim::StepInfo info = fast ? cpu.run(1u << 20)
-                                      : cpu.run_reference(1u << 20);
+      const sim::StepInfo info = cpu.run(1u << 20);
       if (info.status != sim::StepInfo::Status::Halted) {
         std::fprintf(stderr, "micro_step: kernel did not halt\n");
         std::exit(1);
@@ -123,6 +131,9 @@ Cell time_cell(const sim::Program& prog, const char* engine, const char* mode,
 int main(int argc, char** argv) {
   const double budget = argc > 1 ? std::atof(argv[1]) : 0.2;
   const sim::Program prog = build_kernel();
+  const analysis::ControlFlowGraph cfg = analysis::build_cfg(prog);
+  const auto compiled =
+      sim::jit::compile(prog, analysis::form_superblocks(cfg, prog));
 
   const struct {
     const char* mode;
@@ -136,9 +147,12 @@ int main(int argc, char** argv) {
 
   std::vector<Cell> cells;
   for (const auto& m : modes) {
-    cells.push_back(time_cell(prog, "fast", m.mode, true, m.trace, m.masks,
-                              m.shadow, budget));
-    cells.push_back(time_cell(prog, "reference", m.mode, false, m.trace,
+    cells.push_back(time_cell(prog, "jit", m.mode, sim::EngineKind::Jit,
+                              compiled, m.trace, m.masks, m.shadow, budget));
+    cells.push_back(time_cell(prog, "fast", m.mode, sim::EngineKind::Fast,
+                              nullptr, m.trace, m.masks, m.shadow, budget));
+    cells.push_back(time_cell(prog, "reference", m.mode,
+                              sim::EngineKind::Reference, nullptr, m.trace,
                               m.masks, m.shadow, budget));
   }
 

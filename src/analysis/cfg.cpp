@@ -11,26 +11,6 @@ using sim::Instruction;
 using sim::Opcode;
 using sim::Program;
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-std::uint64_t instruction_hash(std::uint64_t h, const Instruction& insn) {
-  h = fnv_mix(h, static_cast<std::uint64_t>(insn.op));
-  h = fnv_mix(h, static_cast<std::uint64_t>(insn.r1));
-  h = fnv_mix(h, static_cast<std::uint64_t>(insn.r2));
-  h = fnv_mix(h, static_cast<std::uint64_t>(insn.imm));
-  h = fnv_mix(h, insn.aux);
-  return h;
-}
-
 bool is_direct_branch(Opcode op) {
   return op == Opcode::Jmp || op == Opcode::Call || sim::is_cond_branch(op);
 }
@@ -50,12 +30,10 @@ TargetStatus classify_branch_target(const Program& program, Addr target) {
 }
 
 std::uint64_t program_signature(const Program& program) {
-  std::uint64_t h = kFnvOffset;
-  h = fnv_mix(h, program.base());
-  for (Addr a = program.base(); a < program.end(); ++a) {
-    h = instruction_hash(h, program.at(a));
-  }
-  return h;
+  // One signature for every layer: the analysis artifacts, the campaign
+  // staleness guards, and the threaded-code CompiledProgram cache all key
+  // off the same sim-level hash.
+  return sim::program_text_signature(program);
 }
 
 ControlFlowGraph build_cfg(const Program& program, const CfgOptions& options) {
@@ -97,9 +75,9 @@ ControlFlowGraph build_cfg(const Program& program, const CfgOptions& options) {
     b.first = base + i;
     b.last = base + end;
     b.is_function_entry = is_symbol[i];
-    std::uint64_t h = kFnvOffset;
+    std::uint64_t h = sim::kFnvOffsetBasis;
     for (std::size_t k = i; k <= end; ++k) {
-      h = instruction_hash(h, program.at(base + k));
+      h = sim::instruction_fnv(h, program.at(base + k));
       cfg.block_of[k] = idx;
     }
     b.signature = h;

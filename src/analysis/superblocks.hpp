@@ -1,0 +1,36 @@
+// Superblock formation over the analysis CFG, and the cached front door
+// to threaded-code compilation.
+//
+// The CFG carves the image into basic blocks at every landing site and
+// terminator; the threaded engine wants the *opposite* granularity —
+// maximal fall-through runs — because its per-op accounting prefixes only
+// work when no superblock boundary splits an edge control is guaranteed
+// to cross.  form_superblocks therefore glues CFG blocks back together
+// along guaranteed fall-through seams (plain landing-site splits,
+// conditional-branch fall-through paths) and absorbs Ud padding runs into
+// the preceding superblock when its last op can fall into them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/artifacts.hpp"
+#include "analysis/cfg.hpp"
+#include "sim/jit/compiled_program.hpp"
+
+namespace xentry::analysis {
+
+/// Derives the threaded engine's superblock tiling from a CFG of
+/// `program`.  Throws std::invalid_argument when the CFG does not
+/// describe this program (stale base/size) — the same fail-fast shape as
+/// every other artifact-staleness guard.
+std::vector<sim::jit::Superblock> form_superblocks(
+    const ControlFlowGraph& cfg, const sim::Program& program);
+
+/// Compiles `artifacts.program` to threaded code through the process-wide
+/// CodeCache, keyed by the artifacts' program signature: campaigns with
+/// many shards compile once and share the immutable stream.
+std::shared_ptr<const sim::jit::CompiledProgram> compile_threaded(
+    const AnalysisArtifacts& artifacts);
+
+}  // namespace xentry::analysis

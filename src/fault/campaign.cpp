@@ -1,5 +1,7 @@
 #include "fault/campaign.hpp"
 
+#include "analysis/superblocks.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -92,6 +94,11 @@ void validate_campaign_config(const CampaignConfig& cfg) {
          "analyze_program(...) output or disable "
          "xentry.control_flow_detection");
   }
+  if (cfg.xentry.engine == sim::EngineKind::Jit && cfg.analysis == nullptr) {
+    fail("xentry.engine is Jit but no analysis artifacts are installed — "
+         "threaded-code compilation needs the CFG; set cfg.analysis to "
+         "analyze_program(...) output or select another engine");
+  }
 }
 
 namespace {
@@ -127,10 +134,12 @@ struct CampaignMetricHandles {
 /// One shard's work: its own machines, generator, RNG, and telemetry.
 /// The workload profile is resolved once in run_campaign and shared
 /// read-only; `progress` is null unless the heartbeat is enabled.
-CampaignResult run_shard(const CampaignConfig& cfg,
-                         const wl::WorkloadProfile& profile, int shard_index,
-                         int num_shards, obs::TraceRecorder::Clock::time_point epoch,
-                         ShardProgress* progress) {
+CampaignResult run_shard(
+    const CampaignConfig& cfg, const wl::WorkloadProfile& profile,
+    int shard_index, int num_shards,
+    obs::TraceRecorder::Clock::time_point epoch,
+    const std::shared_ptr<const sim::jit::CompiledProgram>& compiled,
+    ShardProgress* progress) {
   const int base = cfg.injections / num_shards;
   const int extra = shard_index < cfg.injections % num_shards ? 1 : 0;
   const int quota = base + extra;
@@ -141,6 +150,14 @@ CampaignResult run_shard(const CampaignConfig& cfg,
 
   hv::Machine golden(cfg.machine);
   hv::Machine faulty(cfg.machine);
+  if (cfg.xentry.engine != sim::EngineKind::Fast) {
+    // Both machines run the selected engine: the golden probe and the
+    // faulty run must retire identical streams for the diff to mean
+    // anything, and the compiled stream is immutable so sharing the one
+    // shared_ptr across shards is free.
+    golden.set_execution_engine(cfg.xentry.engine, compiled);
+    faulty.set_execution_engine(cfg.xentry.engine, compiled);
+  }
 
   // -- shard-local telemetry (lock-free: nothing here is shared) ------------
   const obs::Options& oo = cfg.obs;
@@ -331,6 +348,14 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     }
   }
 
+  // Compile the threaded stream once, up front: every shard shares the
+  // immutable compilation, and a tiling bug surfaces here as a thrown
+  // config error instead of inside a worker thread.
+  std::shared_ptr<const sim::jit::CompiledProgram> compiled;
+  if (cfg.xentry.engine == sim::EngineKind::Jit) {
+    compiled = analysis::compile_threaded(*cfg.analysis);
+  }
+
   int shards = cfg.shards;
   if (shards <= 0) {
     shards = static_cast<int>(std::thread::hardware_concurrency());
@@ -410,9 +435,9 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     threads.reserve(static_cast<std::size_t>(shards));
     for (int s = 0; s < shards; ++s) {
       threads.emplace_back(
-          [&cfg, &profile, &partials, &progress, s, shards, epoch] {
+          [&cfg, &profile, &partials, &progress, &compiled, s, shards, epoch] {
             partials[static_cast<std::size_t>(s)] =
-                run_shard(cfg, profile, s, shards, epoch,
+                run_shard(cfg, profile, s, shards, epoch, compiled,
                           progress ? &progress[s] : nullptr);
           });
     }

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "hv/exit_reason.hpp"
@@ -136,6 +138,21 @@ class Machine {
   /// Handler entry address for an exit reason (O(1), cached).  The CFI
   /// detector checks each run's first retired instruction against this.
   sim::Addr handler_entry(const ExitReason& reason) const;
+
+  /// Selects the CPU execution engine for this machine's run() path and,
+  /// for EngineKind::Jit, attaches the threaded-code compilation (which
+  /// must match this machine's program — Cpu::set_compiled throws on a
+  /// stale stream).  Injection runs still single-step the reference
+  /// engine regardless; the engine accelerates the non-stepwise paths
+  /// (golden probes, advance runs, clean campaign runs).  Snapshot and
+  /// restore are engine-agnostic: the compiled stream is pure code,
+  /// derived only from the immutable program text.
+  void set_execution_engine(
+      sim::EngineKind kind,
+      std::shared_ptr<const sim::jit::CompiledProgram> compiled = nullptr) {
+    cpu_.set_compiled(std::move(compiled));
+    cpu_.set_engine(kind);
+  }
 
   /// Feature names of Table I, in the order the detector consumes them.
   static const std::vector<std::string>& feature_names();

@@ -1,0 +1,34 @@
+#include "sim/jit/code_cache.hpp"
+
+namespace xentry::sim::jit {
+
+CodeCache& CodeCache::instance() {
+  static CodeCache cache;
+  return cache;
+}
+
+std::shared_ptr<const CompiledProgram> CodeCache::find(
+    std::uint64_t signature) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(signature);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const CompiledProgram> CodeCache::insert(
+    std::shared_ptr<const CompiledProgram> compiled) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(compiled->signature, compiled);
+  return it->second;
+}
+
+std::size_t CodeCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void CodeCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace xentry::sim::jit

@@ -1,0 +1,42 @@
+// Process-wide cache of threaded-code compilations, keyed by the FNV-1a
+// program text signature (sim::program_text_signature).
+//
+// The shape follows the usual JIT code-cache idiom: compilation happens
+// once per distinct program text, the artifact is immutable, and every
+// consumer (campaign shards, benches, tests) shares it by shared_ptr.
+// Thread-safe: campaign shards race to attach engines at startup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/jit/compiled_program.hpp"
+
+namespace xentry::sim::jit {
+
+class CodeCache {
+ public:
+  /// The process-wide instance.
+  static CodeCache& instance();
+
+  /// The compilation cached under `signature`, or nullptr.
+  std::shared_ptr<const CompiledProgram> find(std::uint64_t signature) const;
+
+  /// Caches `compiled` under its own signature.  First insert wins; the
+  /// resident entry is returned either way (identical text compiles to an
+  /// identical stream, so dropping a racing duplicate is harmless).
+  std::shared_ptr<const CompiledProgram> insert(
+      std::shared_ptr<const CompiledProgram> compiled);
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const CompiledProgram>>
+      entries_;
+};
+
+}  // namespace xentry::sim::jit

@@ -131,6 +131,18 @@ Word* Memory::poke_span(Addr a, Addr len) {
   return &r->data[a - r->base];
 }
 
+Memory::DirectSpan Memory::direct_span(Addr a) {
+  Region* r = find(a);
+  DirectSpan s;
+  if (r == nullptr) return s;
+  s.base = r->base;
+  s.size = r->size;
+  s.data = r->data.data();
+  s.gen = &r->gen;
+  s.writable = r->perm == Perm::ReadWrite;
+  return s;
+}
+
 Memory::Snapshot Memory::snapshot() const {
   Snapshot snap;
   snapshot_into(snap);

@@ -162,6 +162,24 @@ class Memory {
   /// region — programming error, not a simulated fault.
   Word* poke_span(Addr a, Addr len);
 
+  /// Raw view of one mapped region, for the execution engines' software
+  /// TLB: a flat {base, size, data, writable} the hot loop can keep in
+  /// registers so a hit is one compare and one load, skipping the region
+  /// vector walk.  `gen` lets the engine bump the mutation generation
+  /// itself — exactly once per write-install, before any raw store goes
+  /// through the view, which preserves the generation contract (equal
+  /// generations prove unchanged contents) because snapshot/restore never
+  /// run while an engine holds a view.  Views are invalidated by map();
+  /// engines hold them only within one run call.
+  struct DirectSpan {
+    Addr base = 0;
+    Addr size = 0;  ///< 0: no mapped region at the probed address
+    Word* data = nullptr;
+    std::uint64_t* gen = nullptr;
+    bool writable = false;
+  };
+  DirectSpan direct_span(Addr a);
+
   /// Fills `out` with one WordDiff per word whose contents differ from
   /// `other`, in ascending address order, and returns the diff count.
   /// `other` must have identical region mappings (same map() calls).

@@ -12,22 +12,55 @@ Addr Program::symbol(const std::string& name) const {
   return it->second;
 }
 
-std::vector<bool> compute_landing_sites(const Program& program) {
-  std::vector<bool> landing(program.size(), false);
-  auto mark = [&](Addr target) {
-    const Addr off = target - program.base();
-    if (off < program.size()) landing[off] = true;
+const std::vector<bool>& compute_landing_sites(const Program& program) {
+  return program.landing_sites();
+}
+
+namespace {
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t instruction_fnv(std::uint64_t h, const Instruction& insn) {
+  h = fnv_mix(h, static_cast<std::uint64_t>(insn.op));
+  h = fnv_mix(h, static_cast<std::uint64_t>(insn.r1));
+  h = fnv_mix(h, static_cast<std::uint64_t>(insn.r2));
+  h = fnv_mix(h, static_cast<std::uint64_t>(insn.imm));
+  h = fnv_mix(h, insn.aux);
+  return h;
+}
+
+std::uint64_t program_text_signature(const Program& program) {
+  std::uint64_t h = fnv_mix(kFnvOffsetBasis, program.base());
+  for (Addr a = program.base(); a < program.end(); ++a) {
+    h = instruction_fnv(h, program.at(a));
+  }
+  return h;
+}
+
+void Program::compute_landing() {
+  landing_.assign(code_.size(), false);
+  auto mark = [this](Addr target) {
+    const Addr off = target - base_;
+    if (off < code_.size()) landing_[off] = true;
   };
-  for (std::size_t i = 0; i < program.size(); ++i) {
-    const Instruction& insn = program.at(program.base() + i);
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instruction& insn = code_[i];
     if (insn.op == Opcode::Jmp || insn.op == Opcode::Call ||
         is_cond_branch(insn.op) || insn.op == Opcode::MovRI) {
       mark(static_cast<Addr>(insn.imm));
     }
-    if (insn.op == Opcode::Call) mark(program.base() + i + 1);  // return site
+    if (insn.op == Opcode::Call) mark(base_ + i + 1);  // return site
   }
-  for (const auto& [name, addr] : program.symbols()) mark(addr);
-  return landing;
+  for (const auto& [name, addr] : symbols_) mark(addr);
 }
 
 void Program::compute_fusion() {
@@ -37,12 +70,10 @@ void Program::compute_fusion() {
   // A pair whose *tail* (the Jcc slot) is a landing point must not fuse —
   // a jump arriving there must execute the bare Jcc, and fusing the pair
   // would make the head's basic block extend across an incoming edge.
-  const std::vector<bool> landing = compute_landing_sites(*this);
-
   for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
     if (!is_fusable_head(code_[i].op)) continue;
     if (!is_cond_branch(code_[i + 1].op)) continue;
-    if (landing[i + 1]) continue;
+    if (landing_[i + 1]) continue;
     code_[i].fused = 1;
   }
 }

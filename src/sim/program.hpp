@@ -25,10 +25,28 @@ namespace xentry::sim {
 ///
 /// This is the single source of truth for "where can control arrive":
 /// Program::compute_fusion consumes it (a pair whose Jcc slot is a
-/// landing point must not fuse) and the analysis subsystem's CFG builder
-/// consumes it (every landing point is a basic-block leader), so the
-/// fuser and the verifier can never disagree about landing legality.
-std::vector<bool> compute_landing_sites(const class Program& program);
+/// landing point must not fuse), the analysis subsystem's CFG builder
+/// consumes it (every landing point is a basic-block leader), and the
+/// threaded-code compiler's superblock formation consumes it through the
+/// CFG, so the fuser, the verifier, and the compiler can never disagree
+/// about landing legality.  Computed once at assembly time and cached on
+/// the Program (Program::landing_sites); this free function returns the
+/// cached vector.
+const std::vector<bool>& compute_landing_sites(const class Program& program);
+
+/// FNV-1a accumulation of one instruction's architectural text (op,
+/// operands, immediate, aux — not the fused hint, which is derived).
+/// Shared by program_text_signature and the analysis CFG's per-block
+/// signatures so all layers key caches off the same hash.
+std::uint64_t instruction_fnv(std::uint64_t h, const Instruction& insn);
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
+/// FNV-1a signature of a program's load address + full architectural
+/// text.  This is the cache/staleness key used by analysis artifacts
+/// (analysis::program_signature delegates here) and by the threaded-code
+/// engine's CompiledProgram cache.
+std::uint64_t program_text_signature(const class Program& program);
 
 /// Macro-op fusion metadata for one instruction slot, computed once at
 /// assembly time.  When `fused` is set, the slot holds a Cmp*/Test* whose
@@ -56,6 +74,7 @@ class Program {
   Program(Addr base, std::vector<Instruction> code,
           std::map<std::string, Addr> symbols)
       : base_(base), code_(std::move(code)), symbols_(std::move(symbols)) {
+    compute_landing();
     compute_fusion();
   }
 
@@ -94,12 +113,20 @@ class Program {
   /// or empty if none.  For diagnostics.
   std::string symbol_at(Addr rip) const;
 
+  /// Cached conservative landing set (see compute_landing_sites above),
+  /// one flag per instruction slot.  Computed once at assembly time so
+  /// per-attach consumers (campaign shards, CFG builds, threaded-code
+  /// compilation) never recompute it.
+  const std::vector<bool>& landing_sites() const { return landing_; }
+
  private:
+  void compute_landing();
   void compute_fusion();
 
   Addr base_ = 0;
   std::vector<Instruction> code_;
   std::map<std::string, Addr> symbols_;
+  std::vector<bool> landing_;
 };
 
 }  // namespace xentry::sim

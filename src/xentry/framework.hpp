@@ -53,6 +53,13 @@ struct XentryConfig {
   /// via Xentry::set_analysis; off by default — when off, observe() is
   /// bit-identical to a build without the analysis subsystem.
   bool control_flow_detection = false;
+  /// Execution engine for the machines driven under this configuration.
+  /// Consumed by the campaign runner, which attaches it (plus the
+  /// threaded-code compilation, for EngineKind::Jit) to every machine it
+  /// builds; standalone Machine users call Machine::set_execution_engine
+  /// directly.  Jit requires analysis artifacts whose signature matches
+  /// the machine's program (validate_campaign_config enforces it).
+  sim::EngineKind engine = sim::EngineKind::Fast;
   ExceptionParser::Policy exception_policy{};
   /// Observability gates for the framework layer (detections per
   /// technique, handler-length and detection-latency histograms).

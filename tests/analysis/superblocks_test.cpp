@@ -1,0 +1,117 @@
+// Superblock formation and the cached threaded-code front door.
+//
+// The tiling invariants asserted here are exactly the ones
+// sim::jit::compile validates (and the threaded engine's accounting
+// depends on): contiguous coverage, boundaries only where fall-through
+// ends, and maximality — no boundary on a guaranteed fall-through edge.
+
+#include "analysis/superblocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/artifacts.hpp"
+#include "analysis/cfg.hpp"
+#include "hv/microvisor.hpp"
+#include "sim/assembler.hpp"
+#include "sim/jit/compiled_program.hpp"
+#include "sim/program.hpp"
+
+namespace xentry::analysis {
+namespace {
+
+constexpr sim::Addr kBase = 0x400000;
+
+void expect_valid_tiling(const std::vector<sim::jit::Superblock>& sbs,
+                         const sim::Program& prog) {
+  ASSERT_FALSE(sbs.empty());
+  std::uint32_t expect = 0;
+  for (const sim::jit::Superblock& sb : sbs) {
+    EXPECT_EQ(sb.first, expect);
+    ASSERT_LE(sb.first, sb.last);
+    ASSERT_LT(sb.last, prog.size());
+    // Interior ops fall through; the boundary is maximal.
+    for (std::uint32_t i = sb.first; i < sb.last; ++i) {
+      EXPECT_TRUE(sim::jit::can_fall_through(prog.at(kBase + i).op))
+          << "interior op " << i;
+    }
+    if (sb.last + 1 < prog.size()) {
+      EXPECT_FALSE(sim::jit::can_fall_through(prog.at(kBase + sb.last).op))
+          << "non-maximal boundary after op " << sb.last;
+    }
+    expect = sb.last + 1;
+  }
+  EXPECT_EQ(expect, prog.size());
+}
+
+TEST(SuperblocksTest, GluesFallThroughSeamsAcrossCfgLeaders) {
+  // A conditional branch makes its fall-through successor a CFG leader,
+  // but that seam is a guaranteed fall-through edge — the superblock must
+  // continue across it and only end at the jmp.
+  sim::Assembler as(kBase);
+  const auto end = as.make_label();
+  as.cmpi(sim::Reg::rax, 0);  // 0
+  as.je(end);                 // 1: leader split at 2
+  as.inc(sim::Reg::rax);      // 2
+  as.jmp(end);                // 3: real terminator
+  as.bind(end);
+  as.hlt();                   // 4
+  const sim::Program prog = as.finish();
+  const auto sbs = form_superblocks(build_cfg(prog), prog);
+  expect_valid_tiling(sbs, prog);
+  ASSERT_EQ(sbs.size(), 2u);
+  EXPECT_EQ(sbs[0].first, 0u);
+  EXPECT_EQ(sbs[0].last, 3u);  // cmp..jmp glued into one run
+  EXPECT_EQ(sbs[1].first, 4u);
+  EXPECT_EQ(sbs[1].last, 4u);
+}
+
+TEST(SuperblocksTest, MicrovisorProgramTilesValidly) {
+  const hv::Microvisor mv = hv::build_microvisor({});
+  const sim::Program& prog = mv.program;
+  const ControlFlowGraph cfg = build_cfg(prog);
+  const auto sbs = form_superblocks(cfg, prog);
+  expect_valid_tiling(sbs, prog);
+  // A real program glues aggressively: many superblocks must span a CFG
+  // block boundary (a leader somewhere past the superblock's first slot).
+  std::size_t glued = 0;
+  for (const sim::jit::Superblock& sb : sbs) {
+    for (std::uint32_t i = sb.first + 1; i <= sb.last; ++i) {
+      const std::uint32_t blk = cfg.block_of[i];
+      if (blk != kNoBlock && cfg.blocks[blk].first == prog.base() + i) {
+        ++glued;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(glued, 20u);
+}
+
+TEST(SuperblocksTest, StaleCfgRejected) {
+  sim::Assembler as(kBase);
+  as.inc(sim::Reg::rax);
+  as.hlt();
+  const sim::Program prog = as.finish();
+  sim::Assembler other(kBase);
+  other.inc(sim::Reg::rax);
+  other.inc(sim::Reg::rax);
+  other.hlt();
+  const sim::Program longer = other.finish();
+  EXPECT_THROW(form_superblocks(build_cfg(longer), prog),
+               std::invalid_argument);
+}
+
+TEST(SuperblocksTest, CodeCacheSharesOneCompilationPerSignature) {
+  const hv::Microvisor mv = hv::build_microvisor({});
+  const AnalysisArtifacts art =
+      analyze_program(mv.program, hv::analyze_options(mv));
+  const auto a = compile_threaded(art);
+  const auto b = compile_threaded(art);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // cache hit: the same immutable stream
+  EXPECT_TRUE(a->matches(mv.program));
+}
+
+}  // namespace
+}  // namespace xentry::analysis

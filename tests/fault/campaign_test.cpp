@@ -8,6 +8,7 @@
 
 #include "analysis/artifacts.hpp"
 #include "fault/stats.hpp"
+#include "sim/cpu.hpp"
 #include "fault/training.hpp"
 #include "hv/microvisor.hpp"
 
@@ -231,6 +232,48 @@ TEST(CampaignTest, StaleAnalysisArtifactsRejected) {
   EXPECT_THROW(run_campaign(c), std::invalid_argument);
   c.analysis = analyze_machine(c.machine);
   EXPECT_NO_THROW(run_campaign(c));
+}
+
+TEST(CampaignTest, JitEngineRequiresAnalysisArtifacts) {
+  // The threaded engine compiles from the CFG in cfg.analysis; without
+  // artifacts the config must be rejected up front, not at shard time.
+  CampaignConfig c;
+  c.xentry.transition_detection = false;
+  c.xentry.engine = sim::EngineKind::Jit;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+  c.analysis = analyze_machine(c.machine);
+  EXPECT_NO_THROW(validate_campaign_config(c));
+  // The reference engine needs nothing attached.
+  c.analysis = nullptr;
+  c.xentry.engine = sim::EngineKind::Reference;
+  EXPECT_NO_THROW(validate_campaign_config(c));
+}
+
+TEST(CampaignTest, RecordsBitIdenticalAcrossExecutionEngines) {
+  // The tentpole determinism contract: the execution engine is a pure
+  // throughput knob.  Fast, reference, and threaded-code runs of the same
+  // (seed, shards) must agree field-by-field on every record.
+  CampaignConfig fast;
+  fast.injections = 120;
+  fast.seed = 23;
+  fast.shards = 2;
+  fast.xentry.transition_detection = false;  // no model installed
+  CampaignConfig ref = fast;
+  ref.xentry.engine = sim::EngineKind::Reference;
+  CampaignConfig jit = fast;
+  jit.xentry.engine = sim::EngineKind::Jit;
+  jit.analysis = analyze_machine(jit.machine);
+  const auto a = run_campaign(fast);
+  const auto b = run_campaign(ref);
+  const auto c = run_campaign(jit);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  ASSERT_EQ(a.records.size(), c.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_TRUE(records_identical(a.records[i], b.records[i]))
+        << "record " << i << " differs fast vs reference";
+    ASSERT_TRUE(records_identical(a.records[i], c.records[i]))
+        << "record " << i << " differs fast vs jit";
+  }
 }
 
 TEST(CampaignTest, RecordsBitIdenticalWithControlFlowDisabledVsAbsent) {
