@@ -13,12 +13,18 @@
 // trajectory.  A fourth argument enables the campaign progress heartbeat
 // on stderr (stdout stays pure JSON).
 // Usage:  micro_campaign [injections] [shards] [seed] [heartbeat_sec]
-//                        [--engine fast|reference|jit]
+//                        [--engine fast|reference|jit] [--sampling]
 //                        [--metrics-out FILE] [--forensics-out FILE]
 //   --engine         execution engine for the campaign machines (default
 //                    fast; jit runs analyze_program first and compiles the
 //                    threaded stream).  records_digest must be
 //                    bit-identical across all three — CI asserts it.
+//   --sampling       masking-aware importance sampling: runs
+//                    analyze_program for the vulnerability map and skips
+//                    provably-masked draws with exact reweighting.  The
+//                    JSON gains effective_injections(_per_sec) and the
+//                    reweighted rates, which CI compares against a uniform
+//                    run of the same seed.
 //   --metrics-out    enable obs.metrics and write the merged registry JSON
 //   --forensics-out  enable obs.forensics and write the replay evidence
 //                    (one JSON object per qualifying record) as JSONL
@@ -54,6 +60,7 @@ struct CampaignScore {
   std::size_t detected = 0;
   std::size_t forensics = 0;
   std::uint64_t digest = 0;
+  fault::WeightedRates weighted;
 };
 
 /// Progress heartbeat on stderr, one line per sample, so a long campaign
@@ -71,7 +78,7 @@ void print_heartbeat(const fault::HeartbeatSample& s) {
 
 CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
                             double heartbeat_sec, sim::EngineKind engine,
-                            const std::string& metrics_out,
+                            bool sampling, const std::string& metrics_out,
                             const std::string& forensics_out) {
   fault::CampaignConfig cfg;
   cfg.injections = injections;
@@ -79,7 +86,8 @@ CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
   cfg.seed = seed;
   cfg.collect_dataset = true;
   cfg.xentry.engine = engine;
-  if (engine == sim::EngineKind::Jit) {
+  cfg.sampling.importance = sampling;
+  if (engine == sim::EngineKind::Jit || sampling) {
     cfg.analysis = std::make_shared<analysis::AnalysisArtifacts>(
         analysis::analyze_program(hv::build_microvisor(cfg.machine).program));
   }
@@ -100,6 +108,7 @@ CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
     score.forensics += r.forensics.has_value();
   }
   score.digest = bench::records_digest(res.records);
+  score.weighted = fault::weighted_rates(res.records);
   if (!metrics_out.empty()) {
     std::ofstream os(metrics_out);
     res.metrics.write_json(os);
@@ -162,10 +171,13 @@ SnapshotScore time_snapshot(double budget_sec) {
 int main(int argc, char** argv) {
   std::string metrics_out, forensics_out;
   sim::EngineKind engine = sim::EngineKind::Fast;
+  bool sampling = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--metrics-out" && i + 1 < argc) {
+    if (arg == "--sampling") {
+      sampling = true;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (arg == "--forensics-out" && i + 1 < argc) {
       forensics_out = argv[++i];
@@ -198,7 +210,7 @@ int main(int argc, char** argv) {
 
   const CampaignScore campaign =
       time_campaign(injections, shards, seed, heartbeat_sec, engine,
-                    metrics_out, forensics_out);
+                    sampling, metrics_out, forensics_out);
   const GoldenScore golden = time_golden(1.0);
   const SnapshotScore snap = time_snapshot(1.0);
 
@@ -214,8 +226,16 @@ int main(int argc, char** argv) {
       "  \"manifested\": %zu,\n"
       "  \"detected\": %zu,\n"
       "  \"forensics_records\": %zu,\n"
+      "  \"sampling\": %s,\n"
+      "  \"effective_injections\": %.1f,\n"
+      "  \"weighted_masked_rate\": %.6f,\n"
+      "  \"weighted_sdc_rate\": %.6f,\n"
+      "  \"weighted_crash_rate\": %.6f,\n"
+      "  \"weighted_manifested_rate\": %.6f,\n"
+      "  \"weighted_detected_rate\": %.6f,\n"
       "  \"campaign_elapsed_sec\": %.4f,\n"
       "  \"injections_per_sec\": %.1f,\n"
+      "  \"effective_injections_per_sec\": %.1f,\n"
       "  \"golden_steps_per_sec\": %.0f,\n"
       "  \"golden_runs_per_sec\": %.0f,\n"
       "  \"snapshot_round_trips_per_sec\": %.0f\n"
@@ -224,8 +244,15 @@ int main(int argc, char** argv) {
       std::string(sim::engine_name(engine)).c_str(), campaign.records,
       static_cast<unsigned long long>(campaign.digest),
       campaign.manifested, campaign.detected, campaign.forensics,
-      campaign.elapsed,
+      sampling ? "true" : "false",
+      campaign.weighted.effective_injections,
+      campaign.weighted.rate(fault::Consequence::Masked),
+      campaign.weighted.rate(fault::Consequence::AppSdc),
+      campaign.weighted.rate(fault::Consequence::AppCrash),
+      campaign.weighted.manifested_rate(),
+      campaign.weighted.detected_rate(), campaign.elapsed,
       static_cast<double>(campaign.records) / campaign.elapsed,
+      campaign.weighted.effective_injections / campaign.elapsed,
       static_cast<double>(golden.steps) / golden.elapsed,
       static_cast<double>(golden.runs) / golden.elapsed,
       static_cast<double>(snap.round_trips) / snap.elapsed);

@@ -99,6 +99,11 @@ std::string AnalysisArtifacts::to_string() const {
      << " edges (" << accept_any << " unresolved indirect), "
      << derived.size() << " derived assertions, " << stack_warnings.size()
      << " stack warnings\nverifier: " << verifier.to_string();
+  if (!vuln.empty()) {
+    os << "\nbit-liveness: " << vuln.live.size() << " slots, "
+       << (vuln.masked_fraction() * 100.0)
+       << "% of (slot, reg, bit) points provably masked";
+  }
   for (const StackWarning& w : stack_warnings) {
     os << "\n  [stack] at " << w.addr << " (" << location(program, w.addr)
        << "): " << w.what;
@@ -161,7 +166,18 @@ void AnalysisArtifacts::write_json(std::ostream& os) const {
     json_escape(os, issue.detail);
     os << "}";
   }
-  os << "\n  ],\n  \"stats\": {\"instructions\": " << verifier.instructions
+  os << "\n  ],\n  \"bit_liveness\": ";
+  if (vuln.empty()) {
+    os << "null";
+  } else {
+    std::uint64_t total_live = 0;
+    for (std::uint16_t bits : vuln.live_bits) total_live += bits;
+    os << "{\"slots\": " << vuln.live.size() << ", \"live_bits\": "
+       << total_live << ", \"total_bits\": "
+       << vuln.live.size() * sim::kNumArchRegs * sim::kBitsPerReg
+       << ", \"masked_fraction\": " << vuln.masked_fraction() << "}";
+  }
+  os << ",\n  \"stats\": {\"instructions\": " << verifier.instructions
      << ", \"padding\": " << verifier.padding << ", \"branches\": "
      << verifier.branches << ", \"indirect_jumps\": "
      << verifier.indirect_jumps << ", \"assertions\": "
@@ -184,6 +200,9 @@ AnalysisArtifacts analyze_program(const Program& program,
     for (std::size_t i = 0; i < art.derived.size(); ++i) {
       art.derived[i].id = kDerivedAssertBase + static_cast<std::uint32_t>(i);
     }
+  }
+  if (options.bit_liveness) {
+    art.vuln = compute_bit_liveness(program, art.cfg, art.derived);
   }
   art.verifier = verify_with_cfg(program, art.cfg, art.facts, options.verifier);
   return art;

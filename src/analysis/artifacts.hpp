@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/bitlive.hpp"
 #include "analysis/cfg.hpp"
 #include "analysis/dataflow.hpp"
 #include "sim/verifier.hpp"
@@ -44,6 +45,8 @@ struct AnalyzeOptions {
   bool derive_assertions = true;
   /// Cap on derived assertions (first by address, then register).
   std::size_t max_derived = 64;
+  /// Compute the per-bit vulnerability map (importance-sampling input).
+  bool bit_liveness = true;
 };
 
 struct AnalysisArtifacts {
@@ -57,6 +60,10 @@ struct AnalysisArtifacts {
   std::vector<RegState> block_in;  ///< interval state at block entry
   std::vector<StackWarning> stack_warnings;
   std::vector<DerivedAssertion> derived;  ///< sorted by (addr, reg)
+  /// Per-bit liveness map (empty when AnalyzeOptions::bit_liveness is
+  /// off).  Computed after assertion derivation so gate-time consumers
+  /// are part of the liveness roots.
+  VulnerabilityMap vuln;
   sim::VerifierReport verifier;
 
   std::size_t reachable_blocks() const;

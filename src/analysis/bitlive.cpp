@@ -1,0 +1,457 @@
+#include "analysis/bitlive.hpp"
+
+#include <bit>
+#include <cstddef>
+
+#include "analysis/artifacts.hpp"
+#include "sim/isa.hpp"
+#include "sim/types.hpp"
+
+namespace xentry::analysis {
+namespace {
+
+using sim::Opcode;
+
+constexpr std::uint64_t kAll = ~0ull;
+constexpr int kRipIdx = static_cast<int>(sim::Reg::rip);
+constexpr int kFlagsIdx = static_cast<int>(sim::Reg::rflags);
+/// Flags with operand dependence after set_flags_cmp (OF is written 0).
+constexpr std::uint64_t kCmpFlags =
+    sim::kFlagZero | sim::kFlagSign | sim::kFlagCarry;
+
+/// Union of `need >> s` over all shift amounts s ≥ 0: every bit at or
+/// below the highest needed one.  Models rightward influence of carry /
+/// borrow / multiply chains (result bit i depends on operand bits 0..i)
+/// and of left shifts by an unknown amount.
+std::uint64_t carry_up(std::uint64_t need) {
+  if (need == 0) return 0;
+  const int msb = 63 - std::countl_zero(need);
+  return msb >= 63 ? kAll : (1ull << (msb + 1)) - 1;
+}
+
+/// Union of `need << s` over all s ≥ 0: right shift by unknown amount.
+std::uint64_t spread_down(std::uint64_t need) {
+  if (need == 0) return 0;
+  return kAll << std::countr_zero(need);
+}
+
+/// Result bits whose value the live flag bits depend on after
+/// set_flags_result: ZF reads the whole result, SF reads bit 63; CF/OF
+/// are written as constant zero.
+std::uint64_t result_flag_need(std::uint64_t flags_live) {
+  std::uint64_t need = 0;
+  if (flags_live & sim::kFlagZero) need = kAll;
+  if (flags_live & sim::kFlagSign) need |= 1ull << 63;
+  return need;
+}
+
+std::uint64_t jcc_flag_use(Opcode op) {
+  switch (op) {
+    case Opcode::Je: case Opcode::Jne:
+      return sim::kFlagZero;
+    case Opcode::Jl: case Opcode::Jge:
+      return sim::kFlagSign;
+    case Opcode::Jle: case Opcode::Jg:
+      return sim::kFlagZero | sim::kFlagSign;
+    case Opcode::Jb: case Opcode::Jae:
+      return sim::kFlagCarry;
+    default:
+      return 0;
+  }
+}
+
+/// Backward transfer: `s` holds live-out of the instruction on entry and
+/// live-in on exit.  `gate_regs` is the bitmask (by Reg index) of GPRs
+/// consumed at this address by gate-time checks when the instruction is
+/// the VM-entry Hlt.
+void transfer(const sim::Instruction& insn, LiveState& s,
+              std::uint32_t gate_regs) {
+  const int r1 = static_cast<int>(insn.r1);
+  const int r2 = static_cast<int>(insn.r2);
+
+  switch (insn.op) {
+    case Opcode::Nop:
+    case Opcode::Jmp:
+      break;
+
+    case Opcode::MovRR: {
+      const std::uint64_t need = s[r1];
+      s[r1] = 0;
+      s[r2] |= need;
+      break;
+    }
+    case Opcode::MovRI:
+    case Opcode::Rdtsc:
+      s[r1] = 0;
+      break;
+    case Opcode::Load:
+      // Kill the destination first so Load r, [r + d] leaves the address
+      // register fully live.  The address feeds the trap predicate and the
+      // cell choice, so every bit matters.
+      s[r1] = 0;
+      s[r2] |= kAll;
+      break;
+    case Opcode::Store:
+      // Persistent memory is diffed word-for-word at the gate: the stored
+      // value and the address are both fully observable.
+      s[r1] |= kAll;
+      s[r2] |= kAll;
+      break;
+    case Opcode::Push:
+      s[r1] |= kAll;
+      s[static_cast<int>(sim::Reg::rsp)] |= kAll;
+      break;
+    case Opcode::Pop:
+      s[r1] = 0;
+      s[static_cast<int>(sim::Reg::rsp)] |= kAll;
+      break;
+    case Opcode::Call:
+    case Opcode::Ret:
+      s[static_cast<int>(sim::Reg::rsp)] |= kAll;
+      break;
+    case Opcode::JmpR:
+      s[r1] |= kAll;
+      break;
+
+    case Opcode::AddRR:
+    case Opcode::SubRR:
+    case Opcode::MulRR:
+    case Opcode::AndRR:
+    case Opcode::OrRR:
+    case Opcode::XorRR:
+    case Opcode::AddRI:
+    case Opcode::SubRI:
+    case Opcode::AndRI:
+    case Opcode::OrRI:
+    case Opcode::XorRI:
+    case Opcode::ShlRI:
+    case Opcode::ShrRI:
+    case Opcode::ShlRR:
+    case Opcode::ShrRR:
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::Inc:
+    case Opcode::Dec:
+    case Opcode::DivR: {
+      // Flag-writing ALU ops.  rip/rflags as an explicit operand would
+      // make the dest and flag writes overlap; no assembled program does
+      // that, so fall back to gen-everything / kill-nothing conservatism.
+      if (r1 >= sim::kNumGprs || r2 >= sim::kNumGprs) {
+        s[r1] |= kAll;
+        s[r2] |= kAll;
+        s[kFlagsIdx] |= kAll;
+        break;
+      }
+      const std::uint64_t fneed = result_flag_need(s[kFlagsIdx]);
+      switch (insn.op) {
+        case Opcode::AddRR: {
+          const std::uint64_t need = carry_up(s[r1] | fneed);
+          s[kFlagsIdx] = 0;
+          s[r1] = need;
+          s[r2] |= need;
+          break;
+        }
+        case Opcode::AddRI:
+        case Opcode::Inc:
+        case Opcode::Dec:
+        case Opcode::Neg: {
+          const std::uint64_t need = carry_up(s[r1] | fneed);
+          s[kFlagsIdx] = 0;
+          s[r1] = need;
+          break;
+        }
+        case Opcode::SubRR: {
+          // Sub sets flags via set_flags_cmp: ZF/SF/CF compare the full
+          // operands, so any live compare flag makes both fully live.
+          const bool flags = (s[kFlagsIdx] & kCmpFlags) != 0;
+          const std::uint64_t need = flags ? kAll : carry_up(s[r1]);
+          s[kFlagsIdx] = 0;
+          s[r1] = need;
+          s[r2] |= need;
+          break;
+        }
+        case Opcode::SubRI: {
+          const bool flags = (s[kFlagsIdx] & kCmpFlags) != 0;
+          s[kFlagsIdx] = 0;
+          s[r1] = flags ? kAll : carry_up(s[r1]);
+          break;
+        }
+        case Opcode::MulRR: {
+          const std::uint64_t need = carry_up(s[r1] | fneed);
+          s[kFlagsIdx] = 0;
+          s[r1] = need;
+          s[r2] |= need;
+          break;
+        }
+        case Opcode::AndRR:
+        case Opcode::OrRR: {
+          // Bit i of the result depends only on bit i of each operand.
+          const std::uint64_t need = s[r1] | fneed;
+          s[kFlagsIdx] = 0;
+          s[r1] = need;
+          s[r2] |= need;
+          break;
+        }
+        case Opcode::AndRI: {
+          const std::uint64_t need = s[r1] | fneed;
+          s[kFlagsIdx] = 0;
+          s[r1] = need & static_cast<std::uint64_t>(insn.imm);
+          break;
+        }
+        case Opcode::OrRI: {
+          const std::uint64_t need = s[r1] | fneed;
+          s[kFlagsIdx] = 0;
+          s[r1] = need & ~static_cast<std::uint64_t>(insn.imm);
+          break;
+        }
+        case Opcode::XorRR: {
+          if (r1 == r2) {
+            // Canonical zeroing idiom: the result is 0 for every input.
+            s[kFlagsIdx] = 0;
+            s[r1] = 0;
+            break;
+          }
+          const std::uint64_t need = s[r1] | fneed;
+          s[kFlagsIdx] = 0;
+          s[r1] = need;
+          s[r2] |= need;
+          break;
+        }
+        case Opcode::XorRI:
+        case Opcode::Not: {
+          // Bitwise bijection per bit position.
+          const std::uint64_t need = s[r1] | fneed;
+          s[kFlagsIdx] = 0;
+          s[r1] = need;
+          break;
+        }
+        case Opcode::ShlRI: {
+          const int sh = static_cast<int>(insn.imm) & 63;
+          const std::uint64_t need = s[r1] | fneed;
+          s[kFlagsIdx] = 0;
+          s[r1] = need >> sh;
+          break;
+        }
+        case Opcode::ShrRI: {
+          const int sh = static_cast<int>(insn.imm) & 63;
+          const std::uint64_t need = s[r1] | fneed;
+          s[kFlagsIdx] = 0;
+          s[r1] = need << sh;
+          break;
+        }
+        case Opcode::ShlRR: {
+          const std::uint64_t need = s[r1] | fneed;
+          s[kFlagsIdx] = 0;
+          s[r1] = carry_up(need);
+          s[r2] |= 0x3f;
+          break;
+        }
+        case Opcode::ShrRR: {
+          const std::uint64_t need = s[r1] | fneed;
+          s[kFlagsIdx] = 0;
+          s[r1] = spread_down(need);
+          s[r2] |= 0x3f;
+          break;
+        }
+        case Opcode::DivR: {
+          // The divisor decides the #DE trap, so it is live in full even
+          // when every output is dead; the trap path is terminal, which
+          // makes the rax/rdx kills on the fall-through sound.
+          const std::uint64_t need =
+              s[static_cast<int>(sim::Reg::rax)] |
+              s[static_cast<int>(sim::Reg::rdx)] | fneed;
+          s[kFlagsIdx] = 0;
+          s[static_cast<int>(sim::Reg::rax)] = need != 0 ? kAll : 0;
+          s[static_cast<int>(sim::Reg::rdx)] = 0;
+          s[r1] |= kAll;
+          break;
+        }
+        default:
+          break;
+      }
+      break;
+    }
+
+    case Opcode::CmpRR: {
+      const bool flags = (s[kFlagsIdx] & kCmpFlags) != 0;
+      s[kFlagsIdx] = 0;
+      // cmp r, r sets ZF=1, SF=CF=0 for every input: no dependence.
+      if (flags && r1 != r2) {
+        s[r1] |= kAll;
+        s[r2] |= kAll;
+      }
+      break;
+    }
+    case Opcode::CmpRI: {
+      const bool flags = (s[kFlagsIdx] & kCmpFlags) != 0;
+      s[kFlagsIdx] = 0;
+      if (flags) s[r1] |= kAll;
+      break;
+    }
+    case Opcode::TestRR: {
+      const std::uint64_t need = result_flag_need(s[kFlagsIdx]);
+      s[kFlagsIdx] = 0;
+      s[r1] |= need;
+      s[r2] |= need;
+      break;
+    }
+    case Opcode::TestRI: {
+      const std::uint64_t need =
+          result_flag_need(s[kFlagsIdx]) & static_cast<std::uint64_t>(insn.imm);
+      s[kFlagsIdx] = 0;
+      s[r1] |= need;
+      break;
+    }
+
+    case Opcode::Je: case Opcode::Jne:
+    case Opcode::Jl: case Opcode::Jle:
+    case Opcode::Jg: case Opcode::Jge:
+    case Opcode::Jb: case Opcode::Jae:
+      s[kFlagsIdx] |= jcc_flag_use(insn.op);
+      break;
+
+    case Opcode::AssertLeRI:
+    case Opcode::AssertGeRI:
+    case Opcode::AssertEqRI:
+    case Opcode::AssertNeRI:
+      s[r1] |= kAll;
+      break;
+    case Opcode::AssertEqRR:
+    case Opcode::AssertLtRR:
+      s[r1] |= kAll;
+      s[r2] |= kAll;
+      break;
+
+    case Opcode::Hlt:
+      // The gate: execution of this activation ends here.  Nothing past
+      // the Hlt reads registers except gate-time consumers — derived range
+      // assertions (and the CFI edge check, which reads only rip).
+      s.fill(0);
+      for (int r = 0; r < sim::kNumGprs; ++r) {
+        if (gate_regs & (1u << r)) s[r] = kAll;
+      }
+      break;
+
+    case Opcode::Ud:
+      // Never inside a block; defensive all-live if it ever is.
+      s.fill(kAll);
+      break;
+  }
+
+  // Every fetch consumes the whole instruction pointer: a flip lands in
+  // padding, out of the image, or on a different instruction.
+  s[kRipIdx] = kAll;
+}
+
+LiveState all_live() {
+  LiveState s;
+  s.fill(kAll);
+  return s;
+}
+
+LiveState block_out(const ControlFlowGraph& cfg, const BasicBlock& block,
+                    const std::vector<LiveState>& in_first) {
+  if (block.accept_any_succ) return all_live();
+  LiveState out{};
+  for (std::uint32_t succ : block.succs) {
+    const LiveState& in = in_first[succ];
+    for (int r = 0; r < sim::kNumArchRegs; ++r) out[r] |= in[r];
+  }
+  (void)cfg;
+  return out;
+}
+
+}  // namespace
+
+double VulnerabilityMap::masked_fraction() const {
+  if (live.empty()) return 0.0;
+  std::uint64_t total_live = 0;
+  for (std::uint16_t bits : live_bits) total_live += bits;
+  const double total =
+      static_cast<double>(live.size()) * sim::kNumArchRegs * sim::kBitsPerReg;
+  return 1.0 - static_cast<double>(total_live) / total;
+}
+
+VulnerabilityMap compute_bit_liveness(
+    const sim::Program& program, const ControlFlowGraph& cfg,
+    const std::vector<DerivedAssertion>& derived) {
+  VulnerabilityMap map;
+  map.base = program.base();
+  map.code_size = program.size();
+  if (program.empty()) return map;
+
+  // Gate-time register consumers, per slot: the derived range assertions
+  // checked when fault-free execution halts at that address.
+  std::vector<std::uint32_t> gate_regs(program.size(), 0);
+  for (const DerivedAssertion& d : derived) {
+    const sim::Addr off = d.addr - program.base();
+    if (off < program.size() && d.reg < sim::kNumGprs) {
+      gate_regs[off] |= 1u << d.reg;
+    }
+  }
+
+  // Round-robin to fixpoint over the finite union lattice.  Blocks are
+  // ordered by address and the CFG is mostly forward, so sweeping in
+  // reverse order converges in a handful of passes.
+  std::vector<LiveState> in_first(cfg.blocks.size(), LiveState{});
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = cfg.blocks.size(); i-- > 0;) {
+      const BasicBlock& block = cfg.blocks[i];
+      LiveState s = block_out(cfg, block, in_first);
+      for (sim::Addr a = block.last + 1; a-- > block.first;) {
+        transfer(program.at(a), s, gate_regs[a - program.base()]);
+      }
+      if (s != in_first[i]) {
+        in_first[i] = s;
+        changed = true;
+      }
+    }
+  }
+
+  // Final pass: materialize converged live-in masks per slot.  Slots in
+  // no block (Ud padding) stay fully live.
+  map.live.assign(program.size(), all_live());
+  for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
+    const BasicBlock& block = cfg.blocks[i];
+    LiveState s = block_out(cfg, block, in_first);
+    for (sim::Addr a = block.last + 1; a-- > block.first;) {
+      transfer(program.at(a), s, gate_regs[a - program.base()]);
+      map.live[a - program.base()] = s;
+    }
+  }
+
+  map.live_bits.resize(program.size());
+  map.activated_live_frac.resize(program.size());
+  for (std::size_t off = 0; off < program.size(); ++off) {
+    const LiveState& s = map.live[off];
+    unsigned total = 0;
+    for (int r = 0; r < sim::kNumArchRegs; ++r) {
+      total += static_cast<unsigned>(std::popcount(s[r]));
+    }
+    map.live_bits[off] = static_cast<std::uint16_t>(total);
+
+    // Candidate set of an activation-biased draw at this slot: the
+    // registers the instruction reads, plus rip (mirrors
+    // draw_activated_injection).
+    const std::uint32_t cand =
+        sim::regs_read(program.at(program.base() + off)) |
+        sim::reg_bit(sim::Reg::rip);
+    unsigned n = 0;
+    unsigned live = 0;
+    for (int r = 0; r < sim::kNumArchRegs; ++r) {
+      if (cand & (1u << r)) {
+        ++n;
+        live += static_cast<unsigned>(std::popcount(s[r]));
+      }
+    }
+    map.activated_live_frac[off] =
+        n == 0 ? 1.0
+               : static_cast<double>(live) /
+                     (static_cast<double>(n) * sim::kBitsPerReg);
+  }
+  return map;
+}
+
+}  // namespace xentry::analysis

@@ -1,0 +1,95 @@
+// Per-bit register liveness over the CFG: the vulnerability map.
+//
+// A backward dataflow in the style of BEC (arXiv 2401.05753) refining the
+// register-granularity activation test to bit granularity.  For every
+// instruction address `a` and architectural register `r`, live_mask(a, r)
+// has bit `b` set when flipping bit `b` of `r` immediately *before* the
+// instruction at `a` executes may change observable behaviour: persistent
+// memory contents at the VM-entry gate, the retired-rip trace, trap
+// behaviour, or any register a gate-time consumer (derived assertions,
+// CFI) reads.  A clear bit is a *proof* that the flip is architecturally
+// masked — the injection campaign may skip it, provided the skipped
+// probability mass is reweighted exactly (src/fault/sampler.hpp).
+//
+// The lattice is the powerset of (18 regs × 64 bits) per program point,
+// joined by union; transfer functions are monotone and the lattice is
+// finite, so the worklist converges without widening.  Conservatism rules:
+//   - rip is always fully live (every fetch consumes all of it);
+//   - memory-writing operands are fully live (persistent state is diffed
+//     word-for-word at the gate);
+//   - unresolved indirect control flow (accept_any_succ) makes everything
+//     live at block exit;
+//   - addresses outside every block (Ud padding) are fully live;
+//   - trap *conditions* (divisor, addresses, assertion operands) are fully
+//     live, which makes destination kills on the non-trapping path sound:
+//     the trapping path is terminal and never reads the destination.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "sim/program.hpp"
+
+namespace xentry::analysis {
+
+struct DerivedAssertion;
+
+/// Per-register live masks at one instruction address (live-in: state seen
+/// by a flip performed just before the instruction executes).
+using LiveState = std::array<std::uint64_t, sim::kNumArchRegs>;
+
+struct VulnerabilityMap {
+  sim::Addr base = 0;
+  std::size_t code_size = 0;
+
+  /// live[slot][reg]: converged live-in masks, one entry per instruction
+  /// slot of the analyzed program.
+  std::vector<LiveState> live;
+
+  /// Popcount of all 18 masks per slot (≤ 18 * 64 = 1152).  Lets the
+  /// sampler price a uniform (step, reg, bit) draw in O(1) per step.
+  std::vector<std::uint16_t> live_bits;
+
+  /// Expected live fraction of an activation-biased draw at this slot:
+  /// mean over candidate registers (regs_read ∪ {rip}) of
+  /// popcount(live[slot][r]) / 64.
+  std::vector<double> activated_live_frac;
+
+  bool empty() const { return live.empty(); }
+  bool contains(sim::Addr a) const { return a - base < code_size; }
+
+  /// Live mask for `reg` at `a`; all-ones when `a` is outside the image
+  /// (never provably masked off the map).
+  std::uint64_t live_mask(sim::Addr a, std::uint8_t reg) const {
+    const sim::Addr off = a - base;
+    if (off >= code_size) return ~0ull;
+    return live[off][reg];
+  }
+
+  bool is_live(sim::Addr a, std::uint8_t reg, std::uint8_t bit) const {
+    return (live_mask(a, reg) >> bit) & 1u;
+  }
+
+  /// Fraction of the uniform (reg, bit) space potentially live at `a`.
+  double uniform_live_frac(sim::Addr a) const {
+    const sim::Addr off = a - base;
+    if (off >= code_size) return 1.0;
+    return static_cast<double>(live_bits[off]) /
+           (sim::kNumArchRegs * sim::kBitsPerReg);
+  }
+
+  /// Static summary over the whole image: fraction of (slot, reg, bit)
+  /// points proven masked.  1.0 - mean(live_bits) / 1152.
+  double masked_fraction() const;
+};
+
+/// Compute the converged per-bit liveness map.  `derived` are the
+/// analyzer's gate-time range assertions (their registers are consumed at
+/// each Hlt); pass an empty vector when assertions are not derived.
+VulnerabilityMap compute_bit_liveness(
+    const sim::Program& program, const ControlFlowGraph& cfg,
+    const std::vector<DerivedAssertion>& derived);
+
+}  // namespace xentry::analysis

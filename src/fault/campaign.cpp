@@ -1,6 +1,7 @@
 #include "fault/campaign.hpp"
 
 #include "analysis/superblocks.hpp"
+#include "fault/sampler.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -94,6 +95,23 @@ void validate_campaign_config(const CampaignConfig& cfg) {
          "analyze_program(...) output or disable "
          "xentry.control_flow_detection");
   }
+  if (cfg.sampling.importance) {
+    if (!(cfg.sampling.weight_floor > 0.0 &&
+          cfg.sampling.weight_floor <= 1.0)) {
+      fail("sampling.weight_floor must be within (0, 1], got " +
+           std::to_string(cfg.sampling.weight_floor));
+    }
+    if (cfg.analysis == nullptr) {
+      fail("sampling.importance is enabled but no analysis artifacts are "
+           "installed — the sampler needs the bit-liveness vulnerability "
+           "map; set cfg.analysis to analyze_program(...) output");
+    }
+    if (cfg.analysis->vuln.empty()) {
+      fail("sampling.importance is enabled but the analysis artifacts "
+           "carry no vulnerability map — re-run analyze_program with "
+           "AnalyzeOptions::bit_liveness enabled");
+    }
+  }
   if (cfg.xentry.engine == sim::EngineKind::Jit && cfg.analysis == nullptr) {
     fail("xentry.engine is Jit but no analysis artifacts are installed — "
          "threaded-code compilation needs the CFG; set cfg.analysis to "
@@ -121,6 +139,8 @@ struct CampaignMetricHandles {
   obs::Counter* detected = nullptr;
   obs::Counter* golden_steps = nullptr;
   obs::Counter* blackbox_dumps = nullptr;
+  /// Importance sampling only: slots resolved without a faulted run.
+  obs::Counter* analytic_slots = nullptr;
   // Forensics (null unless obs.forensics && obs.metrics).
   obs::Counter* forensics_replays = nullptr;
   obs::Counter* forensics_replay_steps = nullptr;
@@ -196,6 +216,9 @@ CampaignResult run_shard(
     cm.detected = &result.metrics.counter("campaign.detected");
     cm.golden_steps = &result.metrics.counter("campaign.golden_steps");
     cm.blackbox_dumps = &result.metrics.counter("campaign.blackbox_dumps");
+    if (cfg.sampling.importance) {
+      cm.analytic_slots = &result.metrics.counter("campaign.analytic_slots");
+    }
     if (oo.forensics) {
       cm.forensics_replays = &result.metrics.counter("forensics.replays");
       cm.forensics_replay_steps =
@@ -238,6 +261,16 @@ CampaignResult run_shard(
   wl::WorkloadGenerator gen(golden, profile, shard_seed);
   std::mt19937_64 rng(shard_seed ^ 0xc2b2ae3d27d4eb4full);
 
+  // Importance sampling: the redraw stream is per shard and disjoint from
+  // the main stream, so skipping masked candidates never perturbs the
+  // activation/probe sequence of the slots that do execute.
+  std::unique_ptr<ImportanceSampler> sampler;
+  if (cfg.sampling.importance) {
+    sampler = std::make_unique<ImportanceSampler>(
+        cfg.analysis->vuln, golden.microvisor().program,
+        cfg.sampling.weight_floor, shard_seed ^ 0x94d049bb133111ebull);
+  }
+
   {
     obs::TraceRecorder::Span warm(tr, "phase:warmup", tid);
     for (int i = 0; i < cfg.warmup_activations; ++i) {
@@ -260,18 +293,49 @@ CampaignResult run_shard(
       golden.restore(probe.pre);  // degenerate activation; rewind and skip
       continue;
     }
-    const hv::Injection inj =
-        biased(rng)
-            ? InjectionExperiment::draw_activated_injection(
-                  rng, probe.trace, golden.microvisor().program)
-            : InjectionExperiment::draw_injection(rng, probe.steps);
+    ImportanceSampler::Proposal prop;
+    if (sampler != nullptr) {
+      prop = biased(rng) ? sampler->propose_activated(rng, probe.trace)
+                         : sampler->propose_uniform(rng, probe.steps,
+                                                    probe.trace);
+    } else {
+      prop.injection =
+          biased(rng)
+              ? InjectionExperiment::draw_activated_injection(
+                    rng, probe.trace, golden.microvisor().program)
+              : InjectionExperiment::draw_injection(rng, probe.steps);
+    }
+    const hv::Injection inj = prop.injection;
     InjectionExperiment::Result r;
-    {
-      // Covers the injection, the faulted run under Xentry interception,
-      // and the outcome classification.
-      obs::TraceRecorder::Span span(tr, "phase:faulted_run", tid);
-      span.arg("at_step", inj.at_step);
-      r = experiment.run_one(act, inj, probe);
+    if (prop.analytic) {
+      // Slot resolved without a faulted run: its live mass sits below the
+      // weight floor (or rejection redraw exhausted), so the whole slot is
+      // attributed to Masked.  The record mirrors what the run would have
+      // produced except that no activation bookkeeping exists
+      // (activated = false) and the features are the golden run's.
+      InjectionRecord& rec0 = r.record;
+      rec0.reason = act.reason;
+      rec0.activation_seed = act.seed;
+      rec0.vcpu = act.vcpu;
+      rec0.injection = inj;
+      rec0.injected = true;
+      rec0.consequence = Consequence::Masked;
+      rec0.features = FeatureVector::from(act.reason, probe.counters);
+      r.golden_features = rec0.features;
+      r.golden_ok = probe.reached_vm_entry;
+      if (cm.analytic_slots != nullptr) cm.analytic_slots->inc();
+    } else {
+      {
+        // Covers the injection, the faulted run under Xentry interception,
+        // and the outcome classification.
+        obs::TraceRecorder::Span span(tr, "phase:faulted_run", tid);
+        span.arg("at_step", inj.at_step);
+        r = experiment.run_one(act, inj, probe);
+      }
+      if (sampler != nullptr) {
+        r.record.weight = prop.live_mass;
+        r.record.masked_weight = 1.0 - prop.live_mass;
+      }
     }
     if (cfg.collect_dataset) {
       result.dataset.add(r.golden_features.as_array(), ml::Label::Correct);
@@ -488,6 +552,17 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         .set(elapsed > 0 ? static_cast<std::int64_t>(
                                static_cast<double>(merged.records.size()) /
                                elapsed)
+                         : 0);
+    // Each executed record stands in for 1/weight uniform draws; under
+    // uniform sampling every weight is 1 and this equals the record count.
+    double effective = 0.0;
+    for (const InjectionRecord& r : merged.records) {
+      effective += r.weight > 0.0 ? 1.0 / r.weight : 1.0;
+    }
+    merged.metrics.gauge("campaign.effective_injections")
+        .set(static_cast<std::int64_t>(effective));
+    merged.metrics.gauge("campaign.effective_injections_per_sec")
+        .set(elapsed > 0 ? static_cast<std::int64_t>(effective / elapsed)
                          : 0);
   }
   return merged;

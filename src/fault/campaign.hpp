@@ -74,6 +74,23 @@ struct CampaignConfig {
   /// Collect (features, label) samples into CampaignResult::dataset.
   bool collect_dataset = false;
 
+  /// Masking-aware importance sampling (src/fault/sampler.hpp).  When
+  /// enabled, draws the vulnerability map proves masked are skipped and
+  /// their probability mass reweighted exactly onto the records
+  /// (InjectionRecord::weight / masked_weight), so weighted_rates()
+  /// reproduces the uniform-sampling answer while spending faulted runs
+  /// only on live bits.  Requires `analysis` carrying a bit-liveness map.
+  /// The main RNG stream is consumed identically to uniform mode, so the
+  /// activation/golden-probe sequence is bit-identical across modes.
+  struct SamplingConfig {
+    bool importance = false;
+    /// Slots whose live mass falls below this floor are attributed to
+    /// Masked analytically without a faulted run (bias <= floor per
+    /// affected slot).  Must be in (0, 1].
+    double weight_floor = 1.0 / 64;
+  };
+  SamplingConfig sampling{};
+
   /// Static-analysis artifacts for xentry.control_flow_detection, shared
   /// read-only across shards (every shard's Microvisor assembles the same
   /// program, so one analysis serves all).  Required when control-flow

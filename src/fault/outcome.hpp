@@ -39,6 +39,9 @@ enum class Consequence : std::uint8_t {
   AppSdc,
 };
 
+/// Number of Consequence values (array-indexing helper).
+inline constexpr std::size_t kNumConsequences = 7;
+
 std::string_view consequence_name(Consequence c);
 
 /// Inverse of consequence_name; nullopt for unknown names.  Keeps the
@@ -96,6 +99,17 @@ struct InjectionRecord {
   UndetectedClass undetected = UndetectedClass::NotApplicable;
 
   FeatureVector features;
+
+  /// Importance-sampling reweighting (src/fault/sampler.hpp).  `weight` is
+  /// the probability mass the executed run represents under the original
+  /// proposal; `masked_weight` is the slot's provably-masked mass attributed
+  /// to Masked without execution.  weight + masked_weight == 1 under
+  /// importance sampling; weight == 1, masked_weight == 0 under uniform
+  /// sampling, where weighted_rates() reduces to plain counts.  Derived
+  /// metadata: excluded from the determinism digest (like blackbox), which
+  /// hashes only the executed record stream.
+  double weight = 1.0;
+  double masked_weight = 0.0;
 
   /// Flight-recorder dump (oldest VM exit first), captured automatically
   /// when the outcome is SDC / crash class and a flight recorder is

@@ -55,6 +55,25 @@ std::string summarize(const std::vector<InjectionRecord>& records) {
   }
   os << '\n';
 
+  // Importance-sampled campaigns carry non-unit weights; report the
+  // reweighted (uniform-equivalent) rates alongside the raw counts.
+  bool weighted = false;
+  for (const InjectionRecord& r : records) {
+    if (r.weight != 1.0 || r.masked_weight != 0.0) {
+      weighted = true;
+      break;
+    }
+  }
+  if (weighted) {
+    const WeightedRates w = weighted_rates(records);
+    os << "reweighted (uniform-equivalent): effective injections "
+       << w.effective_injections << ", manifested "
+       << 100.0 * w.manifested_rate() << "%, detected "
+       << 100.0 * w.detected_rate() << "%, masked "
+       << 100.0 * w.rate(Consequence::Masked) << "%, sdc "
+       << 100.0 * w.rate(Consequence::AppSdc) << "%\n";
+  }
+
   const UndetectedBreakdown und = undetected_breakdown(records);
   if (und.total > 0) {
     os << "undetected classes: mis=" << und.mis_classified

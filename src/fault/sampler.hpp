@@ -1,0 +1,82 @@
+// Exact-reweighted importance sampling over the vulnerability map.
+//
+// The bit-liveness analysis (src/analysis/bitlive.hpp) proves a large
+// fraction of the (step, reg, bit) injection space masked.  Executing
+// those injections is wasted work: the outcome is known.  The sampler
+// keeps the campaign's *statistical answer* identical to uniform sampling
+// while spending faulted runs only on bits that can matter:
+//
+//   - The candidate injection is drawn from the MAIN campaign RNG with
+//     exactly the same draw sequence as uniform mode, so the workload /
+//     golden-probe stream of every slot is bit-identical across modes.
+//   - The slot's live mass m = P(draw lands on a live bit) is priced
+//     exactly from the map and the slot's golden trace.
+//   - A live candidate executes as drawn.  A provably-masked candidate is
+//     replaced by a redraw from a per-shard AUXILIARY RNG, rejection-
+//     sampled until it lands on a live bit — the executed injection is
+//     distributed as the original proposal conditioned on liveness either
+//     way.  The record carries weight = m for its observed class and
+//     masked_weight = 1 - m attributed to Masked, so
+//     rate(c) = (sum of weight over class-c records
+//                + sum of masked_weight) / N          (Masked only)
+//     is an unbiased estimate of the uniform-sampling rate (stratified
+//     conditional estimation; see DESIGN.md section 5f).
+//   - Slots whose live mass falls below `weight_floor` are not executed
+//     at all: the whole slot is attributed to Masked analytically
+//     (weight = 1, no faulted run).  Bias <= floor per affected slot.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "analysis/bitlive.hpp"
+#include "hv/machine.hpp"
+#include "sim/program.hpp"
+
+namespace xentry::fault {
+
+class ImportanceSampler {
+ public:
+  struct Proposal {
+    hv::Injection injection{};
+    /// P(the original proposal lands on a live bit), priced exactly from
+    /// the map.  The executed record's weight; its masked_weight is the
+    /// complement.
+    double live_mass = 1.0;
+    /// Skip the faulted run entirely and attribute the slot's whole mass
+    /// to Masked (live mass below the floor, or rejection redraw
+    /// exhausted).
+    bool analytic = false;
+  };
+
+  /// `map` and `program` are borrowed and must outlive the sampler;
+  /// `aux_seed` seeds the redraw stream (per shard, disjoint from the
+  /// main campaign stream).
+  ImportanceSampler(const analysis::VulnerabilityMap& map,
+                    const sim::Program& program, double weight_floor,
+                    std::uint64_t aux_seed);
+
+  /// Uniform-branch proposal: consumes exactly the draws of
+  /// InjectionExperiment::draw_injection from `main_rng`, then prices and
+  /// (if needed) redraws from the auxiliary stream.
+  Proposal propose_uniform(std::mt19937_64& main_rng,
+                           std::uint64_t golden_steps,
+                           const std::vector<sim::Addr>& trace);
+
+  /// Activation-biased-branch proposal: consumes exactly the draws of
+  /// InjectionExperiment::draw_activated_injection from `main_rng`.
+  Proposal propose_activated(std::mt19937_64& main_rng,
+                             const std::vector<sim::Addr>& trace);
+
+ private:
+  bool is_live(const std::vector<sim::Addr>& trace,
+               const hv::Injection& inj) const;
+
+  const analysis::VulnerabilityMap& map_;
+  const sim::Program& program_;
+  double weight_floor_;
+  std::mt19937_64 aux_;
+};
+
+}  // namespace xentry::fault

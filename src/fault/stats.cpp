@@ -108,4 +108,18 @@ std::map<Consequence, std::size_t> consequence_histogram(
   return out;
 }
 
+WeightedRates weighted_rates(const std::vector<InjectionRecord>& records) {
+  WeightedRates out;
+  for (const InjectionRecord& r : records) {
+    out.mass[static_cast<std::size_t>(r.consequence)] += r.weight;
+    out.mass[static_cast<std::size_t>(Consequence::Masked)] +=
+        r.masked_weight;
+    out.total_mass += r.weight + r.masked_weight;
+    if (r.detected) out.detected_mass += r.weight;
+    if (is_manifested(r.consequence)) out.manifested_mass += r.weight;
+    out.effective_injections += r.weight > 0.0 ? 1.0 / r.weight : 1.0;
+  }
+  return out;
+}
+
 }  // namespace xentry::fault

@@ -85,4 +85,36 @@ UndetectedBreakdown undetected_breakdown(
 std::map<Consequence, std::size_t> consequence_histogram(
     const std::vector<InjectionRecord>& records);
 
+/// Exact reweighting of an importance-sampled campaign back to the
+/// uniform-sampling estimand (DESIGN.md section 5f).  Every record
+/// contributes `weight` to its observed consequence class and
+/// `masked_weight` to Masked; with uniform sampling (all weights 1,
+/// masked weights 0) the rates reduce to plain record counts, so this is
+/// safe to call on any campaign.
+struct WeightedRates {
+  /// Sum of (weight + masked_weight) — the record count under both modes.
+  double total_mass = 0;
+  /// Sum of 1/weight: the uniform-campaign size this sampled campaign is
+  /// statistically equivalent to.
+  double effective_injections = 0;
+  /// Indexed by Consequence ordinal; Masked includes the skipped mass.
+  std::array<double, kNumConsequences> mass{};
+  double detected_mass = 0;    ///< weight of detected records
+  double manifested_mass = 0;  ///< weight of manifested records
+
+  double rate(Consequence c) const {
+    return total_mass == 0
+               ? 0.0
+               : mass[static_cast<std::size_t>(c)] / total_mass;
+  }
+  double detected_rate() const {
+    return total_mass == 0 ? 0.0 : detected_mass / total_mass;
+  }
+  double manifested_rate() const {
+    return total_mass == 0 ? 0.0 : manifested_mass / total_mass;
+  }
+};
+
+WeightedRates weighted_rates(const std::vector<InjectionRecord>& records);
+
 }  // namespace xentry::fault

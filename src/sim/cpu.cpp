@@ -447,11 +447,29 @@ StepInfo Cpu::run_loop(std::uint64_t max_steps) {
       return info;
     }
 
+    if constexpr (Masks) {
+      // Register watch: hand control back before any instruction whose
+      // static read/write set touches the watched registers.  The caller
+      // (the injection path) single-steps that instruction with full
+      // activation bookkeeping, then resumes batching.
+      if (watch_mask_ != 0 &&
+          ((regs_read(insn) | regs_written(insn)) & watch_mask_) != 0) {
+        flush();
+        info.status = StepInfo::Status::Ok;
+        info.rip_before = rip;
+        info.read_mask = regs_read(insn);
+        info.written_mask = regs_written(insn);
+        return info;
+      }
+    }
+
     // Macro-op fusion: a Cmp*/Test* head whose successor Jcc is not a
     // control-flow landing point executes as one dispatch but retires as
     // two instructions (two trace entries, two counter retires, same
-    // rflags effects).  Never fuse across the watchdog boundary.
-    if (insn.fused && executed + 2 <= max_steps) {
+    // rflags effects).  Never fuse across the watchdog boundary, and not
+    // while a watch is armed (the tail's reads must stay visible).
+    if (insn.fused && executed + 2 <= max_steps &&
+        (!Masks || watch_mask_ == 0)) {
       switch (insn.op) {
         case Opcode::CmpRR:
           set_flags_cmp(reg(insn.r1), reg(insn.r2));
@@ -833,6 +851,10 @@ std::size_t diff_regs(const Cpu& a, const Cpu& b, std::vector<RegDiff>& out) {
 }
 
 StepInfo Cpu::run(std::uint64_t max_steps) {
+  // A register watch needs the per-instruction mask check only the
+  // interpreter loops implement; the engines are bit-identical, so the
+  // detour never changes results.
+  if (watch_mask_ != 0) return run_interp(max_steps);
   switch (engine_) {
     case EngineKind::Reference:
       return run_reference(max_steps);
@@ -850,7 +872,8 @@ StepInfo Cpu::run(std::uint64_t max_steps) {
 
 StepInfo Cpu::run_interp(std::uint64_t max_steps) {
   const unsigned key = (trace_ != nullptr ? 1u : 0u) |
-                       (track_masks_ ? 2u : 0u) | (shadow_enabled_ ? 4u : 0u);
+                       (track_masks_ || watch_mask_ != 0 ? 2u : 0u) |
+                       (shadow_enabled_ ? 4u : 0u);
   switch (key) {
     case 0: return run_loop<false, false, false>(max_steps);
     case 1: return run_loop<true, false, false>(max_steps);

@@ -157,6 +157,16 @@ class Cpu {
   /// register-set computations.  Default on.
   void set_mask_tracking(bool on) { track_masks_ = on; }
 
+  /// Register watch (by reg_bit mask).  While nonzero, run() stops
+  /// *before* executing any instruction whose static read or write set
+  /// intersects the mask, returning StepInfo::Status::Ok with the pending
+  /// instruction's masks filled and rip still pointing at it.  The
+  /// injection path uses this to batch execution between
+  /// activation-relevant instructions on the fast engine and single-step
+  /// only those.  Forces interpreter execution (bit-identical) while set:
+  /// the jit loop has no per-instruction mask check.  Zero disables.
+  void set_watch(std::uint32_t reg_mask) { watch_mask_ = reg_mask; }
+
   Word tsc() const { return tsc_; }
   void set_tsc(Word v) { tsc_ = v; }
 
@@ -223,6 +233,7 @@ class Cpu {
   std::uint64_t steps_ = 0;
   std::int64_t shadow_offset_ = 0;
   EngineKind engine_ = EngineKind::Fast;
+  std::uint32_t watch_mask_ = 0;
   bool shadow_enabled_ = false;
   bool track_masks_ = true;
 };
