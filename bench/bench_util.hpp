@@ -10,6 +10,7 @@
 #include <string>
 
 #include "fault/campaign.hpp"
+#include "fault/record_io.hpp"
 #include "fault/stats.hpp"
 #include "fault/training.hpp"
 
@@ -80,46 +81,18 @@ inline void print_header(const std::string& title) {
   if (scale() != 1.0) std::printf("(scale factor %.3f)\n", scale());
 }
 
-/// FNV-1a over a 64-bit value, byte by byte.
-inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
+/// FNV-1a over a 64-bit value, byte by byte.  The canonical
+/// implementation lives in fault/record_io.hpp next to the codecs and
+/// the checkpoint journal that pin the same digest on disk.
+using fault::fnv1a;
 
 /// FNV-1a over every determinism-relevant field of every record, in
 /// order.  The digest pins the full record stream for a fixed
 /// (injections, shards, seed) triple, so CI can assert determinism —
 /// and telemetry-independence — without shipping the records themselves.
-/// Deliberately excludes `blackbox` (a postmortem payload that exists
-/// only when the flight recorder is on).
-inline std::uint64_t records_digest(
-    const std::vector<fault::InjectionRecord>& recs) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const fault::InjectionRecord& r : recs) {
-    h = fnv1a(h, static_cast<std::uint64_t>(r.reason.code()));
-    h = fnv1a(h, r.activation_seed);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.vcpu));
-    h = fnv1a(h, r.injection.at_step);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.injection.reg));
-    h = fnv1a(h, static_cast<std::uint64_t>(r.injection.bit));
-    h = fnv1a(h, r.injected);
-    h = fnv1a(h, r.activated);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.consequence));
-    h = fnv1a(h, r.detected);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.technique));
-    h = fnv1a(h, r.latency);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.trap));
-    h = fnv1a(h, r.assert_id);
-    h = fnv1a(h, r.trace_diverged);
-    h = fnv1a(h, static_cast<std::uint64_t>(r.undetected));
-    for (std::int64_t f : r.features.as_array()) {
-      h = fnv1a(h, static_cast<std::uint64_t>(f));
-    }
-  }
-  return h;
-}
+/// Delegates to fault::records_digest (fault/record_io.hpp), the same
+/// digest the checkpoint journal carries and telemetry_tool verifies
+/// against persisted shard streams.
+using fault::records_digest;
 
 }  // namespace xentry::bench

@@ -15,23 +15,14 @@
 // Usage:  micro_campaign [injections] [shards] [seed] [heartbeat_sec]
 //                        [--engine fast|reference|jit] [--sampling]
 //                        [--metrics-out FILE] [--forensics-out FILE]
-//   --engine         execution engine for the campaign machines (default
-//                    fast; jit runs analyze_program first and compiles the
-//                    threaded stream).  records_digest must be
-//                    bit-identical across all three — CI asserts it.
-//   --sampling       masking-aware importance sampling: runs
-//                    analyze_program for the vulnerability map and skips
-//                    provably-masked draws with exact reweighting.  The
-//                    JSON gains effective_injections(_per_sec) and the
-//                    reweighted rates, which CI compares against a uniform
-//                    run of the same seed.
-//   --metrics-out    enable obs.metrics and write the merged registry JSON
-//   --forensics-out  enable obs.forensics and write the replay evidence
-//                    (one JSON object per qualifying record) as JSONL
+//                        [--records-out PATH] [--records-format jsonl|bin]
+//                        [--checkpoint PATH] [--help]
+// Run `micro_campaign --help` for the flag reference.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,10 +30,12 @@
 #include "analysis/artifacts.hpp"
 #include "bench/bench_util.hpp"
 #include "fault/campaign.hpp"
+#include "fault/record_io.hpp"
 #include "fault/report.hpp"
 #include "fault/stats.hpp"
 #include "hv/machine.hpp"
 #include "hv/microvisor.hpp"
+#include "obs/record_sink.hpp"
 
 namespace {
 
@@ -53,6 +46,13 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+struct StreamingFlags {
+  std::string records_out;
+  obs::RecordFormat records_format = obs::RecordFormat::kJsonl;
+  std::string checkpoint;
+  int checkpoint_every = 1024;
+};
+
 struct CampaignScore {
   double elapsed = 0;
   std::size_t records = 0;
@@ -60,39 +60,73 @@ struct CampaignScore {
   std::size_t detected = 0;
   std::size_t forensics = 0;
   std::uint64_t digest = 0;
+  std::uint64_t streamed = 0;
+  bool resumed = false;
   fault::WeightedRates weighted;
 };
+
+/// Reads back every persisted record, probing shard files from index 0
+/// (the sink writes one file per shard; a missing index ends the run).
+std::vector<fault::InjectionRecord> read_streamed_records(
+    const std::string& base, obs::RecordFormat fmt) {
+  std::vector<fault::InjectionRecord> records;
+  for (std::size_t shard = 0;; ++shard) {
+    std::ifstream in(obs::ShardedFileSink::shard_path(base, fmt, shard),
+                     std::ios::binary);
+    if (!in.is_open()) break;
+    const std::string data((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    fault::decode_records(data, fmt, records);
+  }
+  return records;
+}
 
 /// Progress heartbeat on stderr, one line per sample, so a long campaign
 /// is observable without touching the JSON contract on stdout.
 void print_heartbeat(const fault::HeartbeatSample& s) {
-  std::fprintf(stderr,
-               "[micro_campaign] %llu/%llu injections  %.0f inj/s "
-               "(recent %.0f)  detected %llu  elapsed %.1fs  eta %.0fs%s\n",
-               static_cast<unsigned long long>(s.completed),
-               static_cast<unsigned long long>(s.total), s.injections_per_sec,
-               s.recent_per_sec,
-               static_cast<unsigned long long>(s.detected_total),
-               s.elapsed_sec, s.eta_sec, s.last ? "  [final]" : "");
+  std::fprintf(
+      stderr,
+      "[micro_campaign] %llu/%llu injections  %.0f inj/s "
+      "(recent %.0f)  detected %llu  ckpt=%llu  lag=%lluB  elapsed %.1fs  "
+      "eta %.0fs%s\n",
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.total), s.injections_per_sec,
+      s.recent_per_sec, static_cast<unsigned long long>(s.detected_total),
+      static_cast<unsigned long long>(s.checkpointed),
+      static_cast<unsigned long long>(s.sink_lag_bytes), s.elapsed_sec,
+      s.eta_sec, s.last ? "  [final]" : "");
 }
 
 CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
                             double heartbeat_sec, sim::EngineKind engine,
                             bool sampling, const std::string& metrics_out,
-                            const std::string& forensics_out) {
+                            const std::string& forensics_out,
+                            const StreamingFlags& streaming) {
   fault::CampaignConfig cfg;
   cfg.injections = injections;
   cfg.shards = shards;
   cfg.seed = seed;
-  cfg.collect_dataset = true;
+  // The dataset accumulator is not checkpointable, so a checkpointed run
+  // trades it away (validate_campaign_config enforces the exclusion) —
+  // and with no dataset and no model, transition detection could never
+  // fire, so it goes too.
+  cfg.collect_dataset = streaming.checkpoint.empty();
+  cfg.xentry.transition_detection = cfg.collect_dataset;
   cfg.xentry.engine = engine;
   cfg.sampling.importance = sampling;
   if (engine == sim::EngineKind::Jit || sampling) {
     cfg.analysis = std::make_shared<analysis::AnalysisArtifacts>(
         analysis::analyze_program(hv::build_microvisor(cfg.machine).program));
   }
-  cfg.obs.metrics = !metrics_out.empty();
+  // Checkpointed runs keep metrics on regardless: the registry is what the
+  // snapshot sidecar persists, and a resume without it would have nothing
+  // to reconstruct.
+  cfg.obs.metrics = !metrics_out.empty() || !streaming.checkpoint.empty();
   cfg.obs.forensics = !forensics_out.empty();
+  cfg.streaming.records_path = streaming.records_out;
+  cfg.streaming.records_format = streaming.records_format;
+  cfg.streaming.checkpoint_path = streaming.checkpoint;
+  cfg.streaming.checkpoint_every = streaming.checkpoint_every;
   if (heartbeat_sec > 0) {
     cfg.heartbeat.interval_sec = heartbeat_sec;
     cfg.heartbeat.callback = print_heartbeat;
@@ -101,14 +135,25 @@ CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
   const fault::CampaignResult res = fault::run_campaign(cfg);
   CampaignScore score;
   score.elapsed = seconds_since(t0);
-  score.records = res.records.size();
-  for (const auto& r : res.records) {
+  score.streamed = res.records_streamed;
+  score.resumed = res.resumed;
+  // A resumed run holds only the post-resume suffix in memory; the full
+  // stream lives in the sink files, so score from those instead.
+  std::vector<fault::InjectionRecord> streamed;
+  if (res.resumed) {
+    streamed = read_streamed_records(streaming.records_out,
+                                     streaming.records_format);
+  }
+  const std::vector<fault::InjectionRecord>& records =
+      res.resumed ? streamed : res.records;
+  score.records = records.size();
+  for (const auto& r : records) {
     score.manifested += fault::is_manifested(r.consequence);
     score.detected += r.detected;
     score.forensics += r.forensics.has_value();
   }
-  score.digest = bench::records_digest(res.records);
-  score.weighted = fault::weighted_rates(res.records);
+  score.digest = bench::records_digest(records);
+  score.weighted = fault::weighted_rates(records);
   if (!metrics_out.empty()) {
     std::ofstream os(metrics_out);
     res.metrics.write_json(os);
@@ -166,21 +211,95 @@ SnapshotScore time_snapshot(double budget_sec) {
   return score;
 }
 
+void print_help() {
+  std::printf(
+      "usage: micro_campaign [injections] [shards] [seed] [heartbeat_sec]\n"
+      "                      [options]\n"
+      "\n"
+      "Positional (all optional):\n"
+      "  injections       campaign size (default 2000)\n"
+      "  shards           worker threads (default 1; 0 = hardware "
+      "concurrency)\n"
+      "  seed             campaign seed (default 7)\n"
+      "  heartbeat_sec    progress heartbeat interval on stderr (default "
+      "off)\n"
+      "\n"
+      "Options:\n"
+      "  --engine fast|reference|jit\n"
+      "                   execution engine for the campaign machines "
+      "(default\n"
+      "                   fast; jit runs analyze_program first and compiles "
+      "the\n"
+      "                   threaded stream).  records_digest must be\n"
+      "                   bit-identical across all three — CI asserts it.\n"
+      "  --sampling       masking-aware importance sampling: runs\n"
+      "                   analyze_program for the vulnerability map and "
+      "skips\n"
+      "                   provably-masked draws with exact reweighting.\n"
+      "  --metrics-out FILE\n"
+      "                   enable obs.metrics and write the merged registry "
+      "JSON\n"
+      "  --forensics-out FILE\n"
+      "                   enable obs.forensics and write the replay "
+      "evidence\n"
+      "                   (one JSON object per qualifying record) as JSONL\n"
+      "  --records-out PATH\n"
+      "                   stream records through the durable sink: one\n"
+      "                   append-only file per shard at\n"
+      "                   PATH.shard<N>.<jsonl|bin>\n"
+      "  --records-format jsonl|bin\n"
+      "                   record wire format (default jsonl; bin is ~4x\n"
+      "                   denser, decode-equivalent)\n"
+      "  --checkpoint PATH\n"
+      "                   checkpoint journal (requires --records-out).  If "
+      "PATH\n"
+      "                   already holds a journal for this exact campaign, "
+      "the\n"
+      "                   run RESUMES it: killed campaigns continue where "
+      "they\n"
+      "                   stopped and produce bit-identical record streams.\n"
+      "                   Disables dataset collection (not checkpointable).\n"
+      "  --checkpoint-every N\n"
+      "                   shard iterations between checkpoints (default "
+      "1024)\n"
+      "  --help           this text\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string metrics_out, forensics_out;
   sim::EngineKind engine = sim::EngineKind::Fast;
   bool sampling = false;
+  StreamingFlags streaming;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--sampling") {
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    } else if (arg == "--sampling") {
       sampling = true;
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (arg == "--forensics-out" && i + 1 < argc) {
       forensics_out = argv[++i];
+    } else if (arg == "--records-out" && i + 1 < argc) {
+      streaming.records_out = argv[++i];
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      streaming.checkpoint = argv[++i];
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      streaming.checkpoint_every = std::atoi(argv[++i]);
+    } else if (arg == "--records-format" && i + 1 < argc) {
+      const auto fmt = obs::record_format_from_name(argv[++i]);
+      if (!fmt.has_value()) {
+        std::fprintf(stderr,
+                     "micro_campaign: unknown --records-format '%s' (want "
+                     "jsonl|bin)\n",
+                     argv[i]);
+        return 2;
+      }
+      streaming.records_format = *fmt;
     } else if (arg == "--engine" && i + 1 < argc) {
       const std::string name = argv[++i];
       if (name == "fast") {
@@ -208,9 +327,17 @@ int main(int argc, char** argv) {
   const double heartbeat_sec =
       positional.size() > 3 ? std::atof(positional[3]) : 0;
 
+  if (!streaming.checkpoint.empty() && streaming.records_out.empty()) {
+    std::fprintf(stderr,
+                 "micro_campaign: --checkpoint requires --records-out (a "
+                 "resumed campaign reconstructs pre-kill records from the "
+                 "sink)\n");
+    return 2;
+  }
+
   const CampaignScore campaign =
       time_campaign(injections, shards, seed, heartbeat_sec, engine,
-                    sampling, metrics_out, forensics_out);
+                    sampling, metrics_out, forensics_out, streaming);
   const GoldenScore golden = time_golden(1.0);
   const SnapshotScore snap = time_snapshot(1.0);
 
@@ -223,6 +350,8 @@ int main(int argc, char** argv) {
       "  \"engine\": \"%s\",\n"
       "  \"records\": %zu,\n"
       "  \"records_digest\": \"%016llx\",\n"
+      "  \"records_streamed\": %llu,\n"
+      "  \"resumed\": %s,\n"
       "  \"manifested\": %zu,\n"
       "  \"detected\": %zu,\n"
       "  \"forensics_records\": %zu,\n"
@@ -243,6 +372,8 @@ int main(int argc, char** argv) {
       injections, shards, static_cast<unsigned long long>(seed),
       std::string(sim::engine_name(engine)).c_str(), campaign.records,
       static_cast<unsigned long long>(campaign.digest),
+      static_cast<unsigned long long>(campaign.streamed),
+      campaign.resumed ? "true" : "false",
       campaign.manifested, campaign.detected, campaign.forensics,
       sampling ? "true" : "false",
       campaign.weighted.effective_injections,

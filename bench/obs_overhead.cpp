@@ -1,10 +1,11 @@
 // Telemetry overhead bound + digest-equality check.
 //
-// Runs the same campaign (the micro_campaign configuration) under six
+// Runs the same campaign (the micro_campaign configuration) under seven
 // telemetry modes — two independent fully-off sets, metrics-only, fully
 // on (metrics + tracing + flight recorder), forensics (metrics +
-// lockstep replay), and cfi_off (static-analysis artifacts installed but
-// control-flow detection disabled) — and asserts the
+// lockstep replay), cfi_off (static-analysis artifacts installed but
+// control-flow detection disabled), and sinks (streaming every record
+// through the durable JSONL record sink) — and asserts the
 // observability contract.  Measurement discipline for noisy shared
 // hosts: rates are computed from process CPU time (immune to scheduler
 // steal), one untimed warmup campaign runs first, the mode order rotates
@@ -26,7 +27,11 @@
 //      the escape rate, not with hot-path instrumentation;
 //   5. cfi_off digests equal the off digests (installing analysis
 //      artifacts with control-flow detection disabled must not perturb
-//      the observe path) and its rate is judged at `tol_disabled`.
+//      the observe path) and its rate is judged at `tol_disabled`;
+//   6. sinks digests equal the off digests (streaming is encode-and-
+//      append off the hot state, never a behavioral input) and its
+//      throughput stays within `tol_enabled` — the streaming pipeline's
+//      headline bound: durable records cost <= 10% by default.
 //
 // Exit status is non-zero on any violation, so CI can run this as a
 // smoke test.  `--trace-out FILE` additionally writes the fully-on run's
@@ -36,11 +41,14 @@
 //   tolerances:  XENTRY_OBS_TOL_DISABLED  (default 0.02)
 //                XENTRY_OBS_TOL_ENABLED   (default 0.10)
 //                XENTRY_OBS_TOL_FORENSICS (default 0.35)
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -60,6 +68,8 @@ struct Mode {
   /// Install static-analysis artifacts (with control-flow detection left
   /// off) — exercises the disabled-CFI path of the observe loop.
   bool install_analysis = false;
+  /// Stream records through a durable JSONL ShardedFileSink.
+  bool streaming = false;
 };
 
 struct RunScore {
@@ -73,6 +83,21 @@ double cpu_seconds() {
   return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
 }
 
+/// Per-process scratch base for the sinks mode (parallel CI jobs must
+/// not share stream files).
+const std::string& sink_base_path() {
+  static const std::string p = [] {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path dir = fs::temp_directory_path(ec);
+    if (ec) dir = ".";
+    return (dir / ("obs_overhead_records." +
+                   std::to_string(static_cast<long>(::getpid()))))
+        .string();
+  }();
+  return p;
+}
+
 RunScore run_once(int injections, int shards, std::uint64_t seed,
                   const Mode& mode,
                   std::shared_ptr<const analysis::AnalysisArtifacts> analysis,
@@ -84,6 +109,7 @@ RunScore run_once(int injections, int shards, std::uint64_t seed,
   cfg.collect_dataset = true;  // the micro_campaign configuration
   cfg.obs = mode.obs;
   if (mode.install_analysis) cfg.analysis = std::move(analysis);
+  if (mode.streaming) cfg.streaming.records_path = sink_base_path();
   const double t0 = cpu_seconds();
   fault::CampaignResult res = fault::run_campaign(cfg);
   const double elapsed = cpu_seconds() - t0;
@@ -106,7 +132,7 @@ double env_tol(const char* name, double fallback) {
 int main(int argc, char** argv) {
   // Default reps = mode count: with rotation, every mode then occupies
   // every within-rep slot exactly once.
-  int injections = 20000, shards = 1, reps = 6;
+  int injections = 20000, shards = 1, reps = 7;
   std::uint64_t seed = 7;
   std::string trace_out;
   int pos = 0;
@@ -133,8 +159,10 @@ int main(int argc, char** argv) {
       {"full", obs::Options::all()},
       {"forensics", {.metrics = true, .forensics = true}},
       {"cfi_off", obs::Options{}, /*install_analysis=*/true},
+      {"sinks", obs::Options{}, /*install_analysis=*/false,
+       /*streaming=*/true},
   };
-  constexpr int kNumModes = 6;
+  constexpr int kNumModes = 7;
 
   // Analysis artifacts for the cfi_off mode, computed once (the analysis
   // itself is build-time work, not part of the campaign hot path).
@@ -183,10 +211,14 @@ int main(int argc, char** argv) {
   // cfi_off is a disabled collection site like off2: one boolean check
   // per observation, so it is judged at the same symmetric tolerance.
   const double overhead_cfi_off = std::abs(1.0 - best[5] / best[0]);
+  // sinks pays encode + buffered append + flush per record — real work,
+  // judged at the enabled tolerance (the <= 10% streaming bound).
+  const double overhead_sinks = 1.0 - best[6] / best[0];
   const bool disabled_ok = overhead_disabled <= tol_disabled;
   const bool enabled_ok = overhead_enabled <= tol_enabled;
   const bool forensics_ok = overhead_forensics <= tol_forensics;
   const bool cfi_off_ok = overhead_cfi_off <= tol_disabled;
+  const bool sinks_ok = overhead_sinks <= tol_enabled;
 
   std::printf(
       "{\n"
@@ -203,11 +235,13 @@ int main(int argc, char** argv) {
       "  \"rate_full\": %.1f,\n"
       "  \"rate_forensics\": %.1f,\n"
       "  \"rate_cfi_off\": %.1f,\n"
+      "  \"rate_sinks\": %.1f,\n"
       "  \"overhead_disabled\": %.4f,\n"
       "  \"overhead_metrics\": %.4f,\n"
       "  \"overhead_full\": %.4f,\n"
       "  \"overhead_forensics\": %.4f,\n"
       "  \"overhead_cfi_off\": %.4f,\n"
+      "  \"overhead_sinks\": %.4f,\n"
       "  \"tol_disabled\": %.4f,\n"
       "  \"tol_enabled\": %.4f,\n"
       "  \"tol_forensics\": %.4f,\n"
@@ -215,11 +249,23 @@ int main(int argc, char** argv) {
       "}\n",
       injections, shards, static_cast<unsigned long long>(seed), reps,
       static_cast<unsigned long long>(digest), digests_ok ? "true" : "false",
-      best[0], best[1], best[2], best[3], best[4], best[5], overhead_disabled,
-      overhead_metrics, overhead_enabled, overhead_forensics, overhead_cfi_off,
-      tol_disabled, tol_enabled, tol_forensics,
-      disabled_ok && enabled_ok && forensics_ok && cfi_off_ok ? "true"
-                                                             : "false");
+      best[0], best[1], best[2], best[3], best[4], best[5], best[6],
+      overhead_disabled, overhead_metrics, overhead_enabled,
+      overhead_forensics, overhead_cfi_off, overhead_sinks, tol_disabled,
+      tol_enabled, tol_forensics,
+      disabled_ok && enabled_ok && forensics_ok && cfi_off_ok && sinks_ok
+          ? "true"
+          : "false");
+
+  // Scratch stream files from the sinks mode are per-process; clean up.
+  for (int s = 0; s < shards; ++s) {
+    std::error_code ec;
+    std::filesystem::remove(
+        obs::ShardedFileSink::shard_path(sink_base_path(),
+                                         obs::RecordFormat::kJsonl,
+                                         static_cast<std::size_t>(s)),
+        ec);
+  }
 
   if (!trace_out.empty()) {
     std::ofstream os(trace_out);
@@ -255,6 +301,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: disabled-CFI overhead %.2f%% exceeds %.2f%%\n",
                  overhead_cfi_off * 100, tol_disabled * 100);
+    return 1;
+  }
+  if (!sinks_ok) {
+    std::fprintf(stderr,
+                 "FAIL: record-sink streaming overhead %.2f%% exceeds %.2f%%\n",
+                 overhead_sinks * 100, tol_enabled * 100);
     return 1;
   }
   return 0;

@@ -1,12 +1,18 @@
 #include "fault/campaign.hpp"
 
 #include "analysis/superblocks.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/record_io.hpp"
 #include "fault/sampler.hpp"
+#include "obs/snapshot.hpp"
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -117,6 +123,36 @@ void validate_campaign_config(const CampaignConfig& cfg) {
          "threaded-code compilation needs the CFG; set cfg.analysis to "
          "analyze_program(...) output or select another engine");
   }
+  const CampaignConfig::StreamingConfig& st = cfg.streaming;
+  if (!st.records_path.empty() && st.sink_buffer_bytes == 0) {
+    fail("streaming.records_path is set with sink_buffer_bytes == 0 (every "
+         "append would be dropped)");
+  }
+  if (!st.keep_records && st.records_path.empty()) {
+    fail("streaming.keep_records is false but no records_path is set — the "
+         "records would be lost entirely; point records_path at a sink");
+  }
+  if (st.abort_after < 0) {
+    fail("streaming.abort_after must be >= 0, got " +
+         std::to_string(st.abort_after));
+  }
+  if (!st.checkpoint_path.empty()) {
+    if (st.records_path.empty()) {
+      fail("streaming.checkpoint_path is set without records_path — a "
+           "resumed campaign cannot reconstruct pre-kill records without a "
+           "durable record sink");
+    }
+    if (st.checkpoint_every <= 0) {
+      fail("streaming.checkpoint_every must be > 0, got " +
+           std::to_string(st.checkpoint_every));
+    }
+    if (cfg.collect_dataset) {
+      fail("collect_dataset cannot be combined with checkpointing — the "
+           "dataset accumulator is not journaled, so a resumed run would "
+           "silently miss pre-kill rows; collect the dataset in a "
+           "non-checkpointed campaign");
+    }
+  }
 }
 
 namespace {
@@ -129,6 +165,10 @@ using Clock = std::chrono::steady_clock;
 struct alignas(64) ShardProgress {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> detected[kNumTechniques]{};
+  /// Records durable at the shard's last checkpoint.
+  std::atomic<std::uint64_t> checkpointed{0};
+  /// Record-sink bytes buffered but not yet flushed (sink flush lag).
+  std::atomic<std::uint64_t> sink_lag{0};
 };
 
 /// Campaign-level metric handles, resolved once per shard.
@@ -151,6 +191,15 @@ struct CampaignMetricHandles {
   obs::Log2Histogram* forensics_taint = nullptr;
 };
 
+/// Streaming plumbing for one shard: the shared sink (per-shard streams
+/// inside), the shared journal, and this shard's latest checkpoint
+/// (null on a fresh start).
+struct ShardStreaming {
+  obs::RecordSink* sink = nullptr;
+  CheckpointJournal* journal = nullptr;
+  const ShardCheckpoint* resume = nullptr;
+};
+
 /// One shard's work: its own machines, generator, RNG, and telemetry.
 /// The workload profile is resolved once in run_campaign and shared
 /// read-only; `progress` is null unless the heartbeat is enabled.
@@ -159,14 +208,53 @@ CampaignResult run_shard(
     int shard_index, int num_shards,
     obs::TraceRecorder::Clock::time_point epoch,
     const std::shared_ptr<const sim::jit::CompiledProgram>& compiled,
-    ShardProgress* progress) {
+    ShardProgress* progress, const ShardStreaming& streaming) {
   const int base = cfg.injections / num_shards;
   const int extra = shard_index < cfg.injections % num_shards ? 1 : 0;
   const int quota = base + extra;
 
   CampaignResult result;
   if (quota == 0) return result;
-  result.records.reserve(static_cast<std::size_t>(quota));
+  if (cfg.streaming.keep_records) {
+    result.records.reserve(static_cast<std::size_t>(quota));
+  }
+  const ShardCheckpoint* const resume = streaming.resume;
+
+  // -- metrics sidecar (snapshot stream) -------------------------------------
+  // The restored registry must be in place before anything below resolves
+  // handles into result.metrics: restoring replaces the registry object.
+  const obs::Options& oo = cfg.obs;
+  std::ofstream snap_stream;
+  std::unique_ptr<obs::SnapshotWriter> snap_writer;
+  if (streaming.journal != nullptr && oo.metrics) {
+    const std::string spath =
+        snapshot_sidecar_path(cfg.streaming.checkpoint_path, shard_index);
+    if (resume != nullptr) {
+      {
+        std::ifstream in(spath, std::ios::binary);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        if (text.size() > resume->snap_offset) {
+          text.resize(static_cast<std::size_t>(resume->snap_offset));
+        }
+        result.metrics = obs::merge_snapshots(obs::read_snapshots(text));
+      }
+      // Drop snapshot lines written after the journaled commit point (a
+      // kill can land between the snapshot write and the journal append).
+      std::error_code ec;
+      std::filesystem::resize_file(spath, resume->snap_offset, ec);
+      snap_stream.open(spath, std::ios::binary | std::ios::app);
+      snap_writer = std::make_unique<obs::SnapshotWriter>(snap_stream);
+      snap_writer->prime(result.metrics, resume->snap_count);
+    } else {
+      snap_stream.open(spath, std::ios::binary | std::ios::trunc);
+      snap_writer = std::make_unique<obs::SnapshotWriter>(snap_stream);
+    }
+    if (!snap_stream.is_open()) {
+      throw std::runtime_error("campaign: cannot open metrics sidecar " +
+                               spath);
+    }
+  }
 
   hv::Machine golden(cfg.machine);
   hv::Machine faulty(cfg.machine);
@@ -178,9 +266,12 @@ CampaignResult run_shard(
     golden.set_execution_engine(cfg.xentry.engine, compiled);
     faulty.set_execution_engine(cfg.xentry.engine, compiled);
   }
+  // Rewind the golden machine to the checkpointed image before telemetry
+  // attaches (the faulty machine realigns from the golden probe every
+  // injection, so only golden state is journaled).
+  if (resume != nullptr) restore_machine(golden, *resume);
 
   // -- shard-local telemetry (lock-free: nothing here is shared) ------------
-  const obs::Options& oo = cfg.obs;
   result.trace = obs::TraceRecorder(oo.trace_max_events, epoch);
   obs::TraceRecorder* const tr = oo.tracing ? &result.trace : nullptr;
   const std::int32_t tid = shard_index;
@@ -271,16 +362,95 @@ CampaignResult run_shard(
         cfg.sampling.weight_floor, shard_seed ^ 0x94d049bb133111ebull);
   }
 
-  {
+  if (resume != nullptr) {
+    // Rewind every RNG cursor to the journaled state; the textual
+    // mt19937_64 encoding is engine-exact, so the draw sequences continue
+    // bit-identically from the checkpoint boundary.
+    if (!rng_state_from_string(gen.rng(), resume->gen_rng) ||
+        !rng_state_from_string(rng, resume->main_rng) ||
+        (sampler != nullptr &&
+         !rng_state_from_string(sampler->aux(), resume->aux_rng))) {
+      throw std::runtime_error(
+          "campaign: checkpoint RNG state failed to parse (journal written "
+          "by an incompatible build?)");
+    }
+    gen.set_activations_generated(resume->activations_generated);
+    experiment.set_forensics_counter(resume->forensics_counter);
+  } else {
     obs::TraceRecorder::Span warm(tr, "phase:warmup", tid);
     for (int i = 0; i < cfg.warmup_activations; ++i) {
       experiment.advance(gen.next());
     }
   }
 
+  // -- streaming state -------------------------------------------------------
+  obs::RecordSink* const sink = streaming.sink;
+  const obs::RecordFormat fmt = cfg.streaming.records_format;
+  std::uint64_t records_written =
+      resume != nullptr ? resume->records_written : 0;
+  std::uint64_t digest = resume != nullptr ? resume->digest : kDigestBasis;
+  double effective = resume != nullptr ? resume->effective : 0.0;
+  std::string frame;               // encode buffer, reused per record
+  obs::SinkShardStats mirrored{};  // sink stats already mirrored to counters
+  const auto mirror_sink_stats = [&] {
+    if (sink == nullptr || !oo.metrics) return;
+    const obs::SinkShardStats& now = sink->stats(shard_index);
+    result.metrics.counter("obs.sink.appends").inc(now.appends -
+                                                   mirrored.appends);
+    result.metrics.counter("obs.sink.appended_bytes")
+        .inc(now.appended_bytes - mirrored.appended_bytes);
+    result.metrics.counter("obs.sink.flushes").inc(now.flushes -
+                                                   mirrored.flushes);
+    result.metrics.counter("obs.sink.flushed_bytes")
+        .inc(now.flushed_bytes - mirrored.flushed_bytes);
+    result.metrics.counter("obs.sink.backpressure_flushes")
+        .inc(now.backpressure_flushes - mirrored.backpressure_flushes);
+    result.metrics.counter("obs.sink.dropped").inc(now.dropped -
+                                                   mirrored.dropped);
+    mirrored = now;
+  };
+  const auto write_checkpoint = [&](std::uint64_t iterations_done) {
+    // Commit order is what makes a kill at any instant recoverable:
+    // durable records first, then the metrics snapshot, then the journal
+    // line naming both offsets.  A kill between any two steps leaves a
+    // tail beyond the last journaled offset, which resume truncates.
+    if (sink != nullptr) sink->flush(shard_index);
+    mirror_sink_stats();
+    ShardCheckpoint ck;
+    ck.shard = shard_index;
+    ck.iterations = iterations_done;
+    ck.records_written = records_written;
+    ck.digest = digest;
+    ck.effective = effective;
+    ck.sink_offset = sink != nullptr ? sink->offset(shard_index) : 0;
+    if (snap_writer != nullptr) {
+      snap_writer->write(result.metrics);
+      ck.snap_offset = static_cast<std::uint64_t>(snap_stream.tellp());
+      ck.snap_count = snap_writer->next_seq();
+    }
+    ck.forensics_counter = experiment.forensics_counter();
+    ck.activations_generated = gen.activations_generated();
+    ck.gen_rng = rng_state_string(gen.rng());
+    ck.main_rng = rng_state_string(rng);
+    if (sampler != nullptr) ck.aux_rng = rng_state_string(sampler->aux());
+    capture_machine(golden, ck);
+    streaming.journal->append(ck);
+    if (progress != nullptr) {
+      progress->checkpointed.store(records_written,
+                                   std::memory_order_relaxed);
+      progress->sink_lag.store(0, std::memory_order_relaxed);
+    }
+  };
+  if (resume != nullptr && progress != nullptr) {
+    progress->completed.store(records_written, std::memory_order_relaxed);
+    progress->checkpointed.store(records_written, std::memory_order_relaxed);
+  }
+
   std::bernoulli_distribution biased(cfg.activation_bias);
   InjectionExperiment::GoldenProbe probe;  // buffers reused every injection
-  for (int i = 0; i < quota; ++i) {
+  const int start_iter =
+      resume != nullptr ? static_cast<int>(resume->iterations) : 0;
+  for (int i = start_iter; i < quota; ++i) {
     const hv::Activation act = gen.next();
     // The probe run doubles as the experiment's golden run: the golden
     // machine advances to its post-run state here and run_one only has to
@@ -290,105 +460,161 @@ CampaignResult run_shard(
       experiment.probe_golden_advance(act, probe);
     }
     if (probe.steps == 0) {
-      golden.restore(probe.pre);  // degenerate activation; rewind and skip
-      continue;
-    }
-    ImportanceSampler::Proposal prop;
-    if (sampler != nullptr) {
-      prop = biased(rng) ? sampler->propose_activated(rng, probe.trace)
-                         : sampler->propose_uniform(rng, probe.steps,
-                                                    probe.trace);
+      // Degenerate activation: rewind and skip the injection.  No record
+      // exists and no further draws are consumed, but the checkpoint /
+      // abort bookkeeping below still runs — iteration counts include
+      // degenerate slots, so resume boundaries stay well-defined.
+      golden.restore(probe.pre);
     } else {
-      prop.injection =
-          biased(rng)
-              ? InjectionExperiment::draw_activated_injection(
-                    rng, probe.trace, golden.microvisor().program)
-              : InjectionExperiment::draw_injection(rng, probe.steps);
-    }
-    const hv::Injection inj = prop.injection;
-    InjectionExperiment::Result r;
-    if (prop.analytic) {
-      // Slot resolved without a faulted run: its live mass sits below the
-      // weight floor (or rejection redraw exhausted), so the whole slot is
-      // attributed to Masked.  The record mirrors what the run would have
-      // produced except that no activation bookkeeping exists
-      // (activated = false) and the features are the golden run's.
-      InjectionRecord& rec0 = r.record;
-      rec0.reason = act.reason;
-      rec0.activation_seed = act.seed;
-      rec0.vcpu = act.vcpu;
-      rec0.injection = inj;
-      rec0.injected = true;
-      rec0.consequence = Consequence::Masked;
-      rec0.features = FeatureVector::from(act.reason, probe.counters);
-      r.golden_features = rec0.features;
-      r.golden_ok = probe.reached_vm_entry;
-      if (cm.analytic_slots != nullptr) cm.analytic_slots->inc();
-    } else {
-      {
-        // Covers the injection, the faulted run under Xentry interception,
-        // and the outcome classification.
-        obs::TraceRecorder::Span span(tr, "phase:faulted_run", tid);
-        span.arg("at_step", inj.at_step);
-        r = experiment.run_one(act, inj, probe);
-      }
+      ImportanceSampler::Proposal prop;
       if (sampler != nullptr) {
-        r.record.weight = prop.live_mass;
-        r.record.masked_weight = 1.0 - prop.live_mass;
+        prop = biased(rng) ? sampler->propose_activated(rng, probe.trace)
+                           : sampler->propose_uniform(rng, probe.steps,
+                                                      probe.trace);
+      } else {
+        prop.injection =
+            biased(rng)
+                ? InjectionExperiment::draw_activated_injection(
+                      rng, probe.trace, golden.microvisor().program)
+                : InjectionExperiment::draw_injection(rng, probe.steps);
       }
-    }
-    if (cfg.collect_dataset) {
-      result.dataset.add(r.golden_features.as_array(), ml::Label::Correct);
-      if (r.record.activated && r.record.trap == sim::TrapKind::None &&
-          r.record.injected) {
-        // Reached VM entry: the transition detector's input space.
-        result.dataset.add(r.record.features.as_array(),
-                           r.record.trace_diverged ? ml::Label::Incorrect
-                                                   : ml::Label::Correct);
+      const hv::Injection inj = prop.injection;
+      InjectionExperiment::Result r;
+      if (prop.analytic) {
+        // Slot resolved without a faulted run: its live mass sits below the
+        // weight floor (or rejection redraw exhausted), so the whole slot is
+        // attributed to Masked.  The record mirrors what the run would have
+        // produced except that no activation bookkeeping exists
+        // (activated = false) and the features are the golden run's.
+        InjectionRecord& rec0 = r.record;
+        rec0.reason = act.reason;
+        rec0.activation_seed = act.seed;
+        rec0.vcpu = act.vcpu;
+        rec0.injection = inj;
+        rec0.injected = true;
+        rec0.consequence = Consequence::Masked;
+        rec0.features = FeatureVector::from(act.reason, probe.counters);
+        r.golden_features = rec0.features;
+        r.golden_ok = probe.reached_vm_entry;
+        if (cm.analytic_slots != nullptr) cm.analytic_slots->inc();
+      } else {
+        {
+          // Covers the injection, the faulted run under Xentry interception,
+          // and the outcome classification.
+          obs::TraceRecorder::Span span(tr, "phase:faulted_run", tid);
+          span.arg("at_step", inj.at_step);
+          r = experiment.run_one(act, inj, probe);
+        }
+        if (sampler != nullptr) {
+          r.record.weight = prop.live_mass;
+          r.record.masked_weight = 1.0 - prop.live_mass;
+        }
       }
-    }
-    result.records.push_back(std::move(r.record));
-    const InjectionRecord& rec = result.records.back();
-    if (cm.injections != nullptr) {
-      cm.injections->inc();
-      cm.golden_steps->inc(probe.steps);
-      if (rec.activated) cm.activated->inc();
-      if (is_manifested(rec.consequence)) cm.manifested->inc();
-      if (rec.detected) cm.detected->inc();
-      if (!rec.blackbox.empty()) cm.blackbox_dumps->inc();
-      if (rec.forensics.has_value()) {
-        const obs::ForensicsRecord& fx = *rec.forensics;
-        if (cm.forensics_replays != nullptr) {
-          cm.forensics_replays->inc();
-          cm.forensics_replay_steps->inc(fx.replay_steps);
-          if (!fx.heuristic_agrees) cm.forensics_mismatch->inc();
-          if (fx.diverged) {
-            cm.forensics_latency->observe(fx.divergence.step - inj.at_step);
-            if (!fx.taint.empty()) {
-              cm.forensics_taint->observe(fx.taint.back().mem_words);
+      if (cfg.collect_dataset) {
+        result.dataset.add(r.golden_features.as_array(), ml::Label::Correct);
+        if (r.record.activated && r.record.trap == sim::TrapKind::None &&
+            r.record.injected) {
+          // Reached VM entry: the transition detector's input space.
+          result.dataset.add(r.record.features.as_array(),
+                             r.record.trace_diverged ? ml::Label::Incorrect
+                                                     : ml::Label::Correct);
+        }
+      }
+      InjectionRecord rec = std::move(r.record);
+      // Streaming bookkeeping runs whether or not the record is kept in
+      // RAM: the digest and effective mass define the campaign's output.
+      effective += rec.weight > 0.0 ? 1.0 / rec.weight : 1.0;
+      digest = digest_update(digest, rec);
+      ++records_written;
+      if (sink != nullptr) {
+        frame.clear();
+        encode_record(rec, fmt, frame);
+        sink->append(shard_index, frame);
+        if (progress != nullptr) {
+          progress->sink_lag.store(sink->buffered_bytes(shard_index),
+                                   std::memory_order_relaxed);
+        }
+      }
+      if (cm.injections != nullptr) {
+        cm.injections->inc();
+        cm.golden_steps->inc(probe.steps);
+        if (rec.activated) cm.activated->inc();
+        if (is_manifested(rec.consequence)) cm.manifested->inc();
+        if (rec.detected) cm.detected->inc();
+        if (!rec.blackbox.empty()) cm.blackbox_dumps->inc();
+        if (rec.forensics.has_value()) {
+          const obs::ForensicsRecord& fx = *rec.forensics;
+          if (cm.forensics_replays != nullptr) {
+            cm.forensics_replays->inc();
+            cm.forensics_replay_steps->inc(fx.replay_steps);
+            if (!fx.heuristic_agrees) cm.forensics_mismatch->inc();
+            if (fx.diverged) {
+              cm.forensics_latency->observe(fx.divergence.step - inj.at_step);
+              if (!fx.taint.empty()) {
+                cm.forensics_taint->observe(fx.taint.back().mem_words);
+              }
             }
-          }
-          const auto cls = static_cast<std::size_t>(effective_undetected(rec));
-          if (cm.forensics_class[cls] != nullptr) {
-            cm.forensics_class[cls]->inc();
+            const auto cls =
+                static_cast<std::size_t>(effective_undetected(rec));
+            if (cm.forensics_class[cls] != nullptr) {
+              cm.forensics_class[cls]->inc();
+            }
           }
         }
       }
-    }
-    if (tr != nullptr && !rec.detected &&
-        rec.consequence == Consequence::AppSdc) {
-      tr->instant("undetected_sdc", tid, "at_step", inj.at_step);
-    }
-    if (progress != nullptr) {
-      progress->completed.fetch_add(1, std::memory_order_relaxed);
-      if (rec.detected) {
-        progress->detected[static_cast<int>(rec.technique)].fetch_add(
-            1, std::memory_order_relaxed);
+      if (tr != nullptr && !rec.detected &&
+          rec.consequence == Consequence::AppSdc) {
+        tr->instant("undetected_sdc", tid, "at_step", inj.at_step);
+      }
+      if (progress != nullptr) {
+        progress->completed.fetch_add(1, std::memory_order_relaxed);
+        if (rec.detected) {
+          progress->detected[static_cast<int>(rec.technique)].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+      if (cfg.streaming.keep_records) {
+        result.records.push_back(std::move(rec));
+      }
+      for (int g = 0; g < cfg.stream_gap; ++g) {
+        experiment.advance(gen.next());
       }
     }
-    for (int g = 0; g < cfg.stream_gap; ++g) {
-      experiment.advance(gen.next());
+    if (streaming.journal != nullptr &&
+        (i + 1) % cfg.streaming.checkpoint_every == 0 && i + 1 < quota) {
+      write_checkpoint(static_cast<std::uint64_t>(i) + 1);
     }
+    if (cfg.streaming.abort_after > 0 && i + 1 >= cfg.streaming.abort_after) {
+      // Simulated SIGKILL (test hook): abandon buffered sink bytes and
+      // return without the final flush/checkpoint, exactly as a killed
+      // process would lose them.
+      if (sink != nullptr) sink->discard(shard_index);
+      return result;
+    }
+  }
+
+  // -- end of shard: seal gauges, drain the sink, journal the finish --------
+  if (oo.metrics) {
+    // Each executed record stands in for 1/weight uniform draws; under
+    // uniform sampling every weight is 1 and this equals the record count.
+    // Per-shard gauges sum on merge into the campaign total.
+    result.metrics.gauge("campaign.effective_injections")
+        .set(static_cast<std::int64_t>(std::llround(effective)));
+    if (oo.tracing) {
+      result.metrics.gauge("obs.trace.dropped")
+          .set(static_cast<std::int64_t>(result.trace.dropped()));
+    }
+  }
+  if (sink != nullptr) {
+    sink->flush(shard_index);
+    mirror_sink_stats();
+    result.records_streamed = records_written;
+    if (progress != nullptr) {
+      progress->sink_lag.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (streaming.journal != nullptr) {
+    write_checkpoint(static_cast<std::uint64_t>(quota));
   }
   return result;
 }
@@ -430,6 +656,72 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   const wl::WorkloadProfile profile =
       cfg.workload.mix.empty() ? uniform_sweep_profile() : cfg.workload;
 
+  // -- streaming: record sink + checkpoint journal ---------------------------
+  const CampaignConfig::StreamingConfig& st = cfg.streaming;
+  CheckpointHeader header;
+  header.seed = cfg.seed;
+  header.injections = cfg.injections;
+  header.shards = shards;
+  header.activation_bias = cfg.activation_bias;
+  header.warmup_activations = cfg.warmup_activations;
+  header.stream_gap = cfg.stream_gap;
+  header.importance = cfg.sampling.importance;
+  header.checkpoint_every = st.checkpoint_every;
+  header.records_format = static_cast<std::uint8_t>(st.records_format);
+  JournalContents journal_state;
+  bool resuming = false;
+  if (!st.checkpoint_path.empty()) {
+    journal_state = read_journal(st.checkpoint_path);
+    if (journal_state.valid) {
+      // An existing journal means "continue this campaign" — but only the
+      // exact same campaign.  Resuming under a different identity would
+      // silently splice two different record streams together.
+      if (!(journal_state.header == header)) {
+        throw std::invalid_argument(
+            "CampaignConfig: checkpoint journal at " + st.checkpoint_path +
+            " was written by a campaign with a different configuration "
+            "(seed/injections/shards/sampling mismatch) — resume with the "
+            "original config or point checkpoint_path elsewhere");
+      }
+      resuming = true;
+    }
+  }
+
+  std::unique_ptr<obs::ShardedFileSink> sink;
+  if (!st.records_path.empty()) {
+    obs::ShardedFileSink::Options so;
+    so.base_path = st.records_path;
+    so.format = st.records_format;
+    so.shard_count = static_cast<std::size_t>(shards);
+    so.buffer_bytes = st.sink_buffer_bytes;
+    if (resuming) {
+      // Truncate each shard stream to its journaled durable offset: frames
+      // past the last commit point are torn tails, rewritten on resume.
+      so.resume_offsets.assign(static_cast<std::size_t>(shards), 0);
+      for (int s = 0; s < shards; ++s) {
+        const auto& ck = journal_state.shards[static_cast<std::size_t>(s)];
+        if (ck.has_value()) {
+          so.resume_offsets[static_cast<std::size_t>(s)] = ck->sink_offset;
+        }
+      }
+    }
+    sink = std::make_unique<obs::ShardedFileSink>(std::move(so));
+    if (!sink->ok()) {
+      throw std::runtime_error("campaign: cannot open record sink at " +
+                               st.records_path);
+    }
+  }
+
+  std::unique_ptr<CheckpointJournal> journal;
+  if (!st.checkpoint_path.empty()) {
+    journal = resuming ? CheckpointJournal::append_to(st.checkpoint_path)
+                       : CheckpointJournal::create(st.checkpoint_path, header);
+    if (journal == nullptr || !journal->ok()) {
+      throw std::runtime_error(
+          "campaign: cannot open checkpoint journal at " + st.checkpoint_path);
+    }
+  }
+
   const auto t0 = Clock::now();
   const auto epoch = obs::TraceRecorder::Clock::now();
 
@@ -447,6 +739,9 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     s.total = static_cast<std::uint64_t>(cfg.injections);
     for (int i = 0; i < shards; ++i) {
       s.completed += progress[i].completed.load(std::memory_order_relaxed);
+      s.checkpointed +=
+          progress[i].checkpointed.load(std::memory_order_relaxed);
+      s.sink_lag_bytes += progress[i].sink_lag.load(std::memory_order_relaxed);
       for (int t = 0; t < kNumTechniques; ++t) {
         s.detected_by_technique[static_cast<std::size_t>(t)] +=
             progress[i].detected[t].load(std::memory_order_relaxed);
@@ -498,12 +793,20 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(shards));
     for (int s = 0; s < shards; ++s) {
-      threads.emplace_back(
-          [&cfg, &profile, &partials, &progress, &compiled, s, shards, epoch] {
-            partials[static_cast<std::size_t>(s)] =
-                run_shard(cfg, profile, s, shards, epoch, compiled,
-                          progress ? &progress[s] : nullptr);
-          });
+      threads.emplace_back([&cfg, &profile, &partials, &progress, &compiled,
+                            &sink, &journal, &journal_state, resuming, s,
+                            shards, epoch] {
+        ShardStreaming ss;
+        ss.sink = sink.get();
+        ss.journal = journal.get();
+        if (resuming) {
+          const auto& ck = journal_state.shards[static_cast<std::size_t>(s)];
+          if (ck.has_value()) ss.resume = &*ck;
+        }
+        partials[static_cast<std::size_t>(s)] =
+            run_shard(cfg, profile, s, shards, epoch, compiled,
+                      progress ? &progress[s] : nullptr, ss);
+      });
     }
   }  // jthreads join here
 
@@ -521,6 +824,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   // shard index, so merged output is deterministic for a fixed
   // (seed, shards).
   CampaignResult merged;
+  merged.resumed = resuming;
   if (cfg.obs.tracing) {
     // Global budget: each shard kept at most trace_max_events, so the
     // merged buffer never drops what the shards kept.
@@ -541,26 +845,25 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     merged.dataset.append(p.dataset);
     merged.metrics.merge_from(p.metrics);
     merged.trace.merge_from(std::move(p.trace));
+    merged.records_streamed += p.records_streamed;
   }
   if (cfg.obs.metrics) {
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - t0).count();
+    const double produced =
+        merged.records_streamed > 0
+            ? static_cast<double>(merged.records_streamed)
+            : static_cast<double>(merged.records.size());
     merged.metrics.gauge("campaign.shards").set(shards);
     merged.metrics.gauge("campaign.elapsed_us")
         .set(static_cast<std::int64_t>(elapsed * 1e6));
     merged.metrics.gauge("campaign.injections_per_sec")
-        .set(elapsed > 0 ? static_cast<std::int64_t>(
-                               static_cast<double>(merged.records.size()) /
-                               elapsed)
-                         : 0);
-    // Each executed record stands in for 1/weight uniform draws; under
-    // uniform sampling every weight is 1 and this equals the record count.
-    double effective = 0.0;
-    for (const InjectionRecord& r : merged.records) {
-      effective += r.weight > 0.0 ? 1.0 / r.weight : 1.0;
-    }
-    merged.metrics.gauge("campaign.effective_injections")
-        .set(static_cast<std::int64_t>(effective));
+        .set(elapsed > 0 ? static_cast<std::int64_t>(produced / elapsed) : 0);
+    // campaign.effective_injections is the sum of the per-shard gauges
+    // (each shard journals and seals its own accumulator, which is what
+    // makes the value resume-stable); only the rate derives here.
+    const double effective = static_cast<double>(
+        merged.metrics.gauge("campaign.effective_injections").value());
     merged.metrics.gauge("campaign.effective_injections_per_sec")
         .set(elapsed > 0 ? static_cast<std::int64_t>(effective / elapsed)
                          : 0);

@@ -21,6 +21,7 @@
 #include "ml/rules.hpp"
 #include "obs/metrics.hpp"
 #include "obs/options.hpp"
+#include "obs/record_sink.hpp"
 #include "obs/trace.hpp"
 #include "workloads/workload.hpp"
 #include "xentry/framework.hpp"
@@ -43,6 +44,10 @@ struct HeartbeatSample {
   std::uint64_t detected_total = 0;
   /// Indexed by Technique; entry 0 (None) stays zero.
   std::array<std::uint64_t, kNumTechniques> detected_by_technique{};
+  /// Injections durable at the last checkpoint (0 without checkpointing).
+  std::uint64_t checkpointed = 0;
+  /// Record-sink bytes appended but not yet flushed to disk.
+  std::uint64_t sink_lag_bytes = 0;
   bool last = false;  ///< true for the exact post-join sample
 };
 
@@ -103,6 +108,35 @@ struct CampaignConfig {
   /// record stream (digests are bit-identical across telemetry modes).
   obs::Options obs{};
 
+  /// Streaming telemetry: durable record sinks and the checkpoint
+  /// journal (src/fault/checkpoint.hpp).  With `records_path` set, every
+  /// shard streams its records through an append-only per-shard file
+  /// (`<records_path>.shard<N>.<jsonl|bin>`); shard files concatenated in
+  /// shard order decode to exactly the in-memory record stream.  With
+  /// `checkpoint_path` also set, shards journal their resume state every
+  /// `checkpoint_every` iterations, and run_campaign with the same config
+  /// resumes a killed campaign automatically — the resumed record stream
+  /// and final metrics are bit-identical to an uninterrupted run's (see
+  /// DESIGN.md section 5g).
+  struct StreamingConfig {
+    std::string records_path;  ///< empty: no record streaming
+    obs::RecordFormat records_format = obs::RecordFormat::kJsonl;
+    std::size_t sink_buffer_bytes = 64 * 1024;
+    /// Journal file; empty disables checkpointing.  Requires
+    /// records_path (resuming without a durable record stream would lose
+    /// the pre-kill records).  Metrics sidecars live next to it.
+    std::string checkpoint_path;
+    int checkpoint_every = 1024;  ///< shard iterations between checkpoints
+    /// false: do not accumulate records in CampaignResult::records (the
+    /// 10^7-injection configuration — read them back from the sink).
+    bool keep_records = true;
+    /// Test hook simulating SIGKILL: each shard returns after this many
+    /// iterations without flushing or checkpointing, so buffered sink
+    /// bytes are lost exactly as a kill would lose them.  0 = off.
+    int abort_after = 0;
+  };
+  StreamingConfig streaming{};
+
   /// Periodic progress reporting from a monitor thread.  Disabled unless
   /// `interval_sec > 0` and a callback is installed; the callback runs on
   /// the monitor thread (and once more, exactly, from the caller's thread
@@ -131,6 +165,13 @@ struct CampaignResult {
   /// All shards' spans on one timeline, tid = shard index (empty unless
   /// obs.tracing).  Export with trace.write_chrome_json for Perfetto.
   obs::TraceRecorder trace;
+  /// Records durably written to the sink across all shards, including
+  /// those streamed before a resume (0 without streaming.records_path).
+  std::uint64_t records_streamed = 0;
+  /// True when this run continued from an existing checkpoint journal —
+  /// `records` then holds only the post-resume suffix; the full stream
+  /// lives in the sink files.
+  bool resumed = false;
 };
 
 /// Runs the campaign.  Deterministic per (config.seed, shard count).

@@ -133,6 +133,12 @@ class InjectionExperiment {
 
   void set_forensics(const ForensicsConfig& cfg) { forensics_ = cfg; }
 
+  /// Checkpoint support: the escape counter driving `sample_every` is the
+  /// experiment's only state that survives across injections (the scratch
+  /// buffers are realigned from the golden probe every run).
+  std::uint64_t forensics_counter() const { return forensics_counter_; }
+  void set_forensics_counter(std::uint64_t n) { forensics_counter_ = n; }
+
   /// Like measure_golden_steps but also captures the control-flow trace
   /// (for activated-biased injection draws).  Restores the golden machine
   /// to its pre-run state afterwards.

@@ -1,0 +1,68 @@
+// InjectionRecord wire formats and the campaign determinism digest.
+//
+// The streaming pipeline persists records through obs::RecordSink, which
+// is byte-oriented (obs sits below fault); this module is where records
+// become bytes.  Two formats, decode-equivalent:
+//
+//   - JSONL: one object per line, fixed key order, integers everywhere
+//     except the sampling weights (%.17g — exact double round-trip).
+//     Greppable, and `telemetry_tool tail` prints it as-is.
+//   - binary: a little-endian length-prefixed frame, ~4x denser.  The
+//     length prefix is framing, not compression: frames are fixed-size
+//     today but readers must honour the prefix.
+//
+// Both encode every determinism-relevant field plus the sampling weights;
+// the postmortem payloads (`blackbox`, `forensics`) stay in-memory-only,
+// matching the digest's scope.  Encode→decode round-trips to a record
+// whose digest contribution is bit-identical to the original's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/outcome.hpp"
+#include "obs/record_sink.hpp"
+
+namespace xentry::fault {
+
+inline constexpr std::uint64_t kDigestBasis = 0xcbf29ce484222325ull;
+
+/// FNV-1a over a 64-bit value, byte by byte.
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Folds one record into a running digest.  The digest covers every
+/// determinism-relevant field in a fixed order and deliberately excludes
+/// `blackbox`/`forensics` (telemetry-dependent payloads) and the sampling
+/// weights (derived metadata), so digests are bit-identical across
+/// telemetry modes and checkpointable per shard.
+std::uint64_t digest_update(std::uint64_t h, const InjectionRecord& r);
+
+/// FNV-1a digest of a whole record stream (digest_update folded over
+/// kDigestBasis).  NOT composable from per-shard digests: verifying a
+/// sharded stream means chaining shard streams in shard order.
+std::uint64_t records_digest(const std::vector<InjectionRecord>& records);
+
+/// Appends one encoded frame for `r` to `out` (including the framing:
+/// trailing newline for JSONL, length prefix for binary).
+void encode_record(const InjectionRecord& r, obs::RecordFormat format,
+                   std::string& out);
+
+/// Decodes one frame from the front of `data`, advancing `pos` past it.
+/// Returns false on a malformed or truncated frame (`pos` unchanged).
+bool decode_record(std::string_view data, obs::RecordFormat format,
+                   std::size_t& pos, InjectionRecord& out);
+
+/// Decodes every frame in `data`, appending to `out`.  Returns false if
+/// trailing bytes remain that do not decode (the intact prefix is kept).
+bool decode_records(std::string_view data, obs::RecordFormat format,
+                    std::vector<InjectionRecord>& out);
+
+}  // namespace xentry::fault

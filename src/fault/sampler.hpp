@@ -69,6 +69,11 @@ class ImportanceSampler {
   Proposal propose_activated(std::mt19937_64& main_rng,
                              const std::vector<sim::Addr>& trace);
 
+  /// Checkpoint support: the auxiliary redraw stream is the sampler's
+  /// only mutable state.
+  std::mt19937_64& aux() { return aux_; }
+  const std::mt19937_64& aux() const { return aux_; }
+
  private:
   bool is_live(const std::vector<sim::Addr>& trace,
                const hv::Injection& inj) const;

@@ -113,6 +113,18 @@ struct WeightedRates {
   double manifested_rate() const {
     return total_mass == 0 ? 0.0 : manifested_mass / total_mass;
   }
+
+  /// Multi-worker merge: rates are mass ratios, so merging is a plain
+  /// field-wise sum — combining per-worker WeightedRates gives exactly
+  /// the rates of the concatenated record streams (telemetry_tool merges
+  /// many workers' streams this way without materializing all records).
+  void merge_from(const WeightedRates& other) {
+    total_mass += other.total_mass;
+    effective_injections += other.effective_injections;
+    for (std::size_t i = 0; i < mass.size(); ++i) mass[i] += other.mass[i];
+    detected_mass += other.detected_mass;
+    manifested_mass += other.manifested_mass;
+  }
 };
 
 WeightedRates weighted_rates(const std::vector<InjectionRecord>& records);

@@ -1,0 +1,314 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <utility>
+
+namespace xentry::obs {
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::int64_t JsonValue::get_int(std::string_view key,
+                                std::int64_t fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? fallback : v->as_int(fallback);
+}
+
+std::uint64_t JsonValue::get_uint(std::string_view key,
+                                  std::uint64_t fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? fallback : v->as_uint(fallback);
+}
+
+double JsonValue::get_double(std::string_view key, double fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? fallback : v->as_double(fallback);
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? fallback : v->as_bool(fallback);
+}
+
+const std::string& JsonValue::get_string(std::string_view key) const {
+  static const std::string empty;
+  const JsonValue* v = get(key);
+  return v == nullptr ? empty : v->as_string();
+}
+
+JsonValue JsonValue::null() { return JsonValue{}; }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.int_ = i;
+  v.uint_ = static_cast<std::uint64_t>(i);
+  v.double_ = static_cast<double>(i);
+  return v;
+}
+
+JsonValue JsonValue::number_u(std::uint64_t u) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.int_ = static_cast<std::int64_t>(u);
+  v.uint_ = u;
+  v.double_ = static_cast<double>(u);
+  return v;
+}
+
+JsonValue JsonValue::number_d(double d) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.int_ = static_cast<std::int64_t>(d);
+  v.uint_ = d < 0 ? 0 : static_cast<std::uint64_t>(d);
+  v.double_ = d;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> a) {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::object(std::map<std::string, JsonValue> o) {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  v.object_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  /// Nesting guard: the journal/snapshot formats nest a handful of
+  /// levels; anything deeper is corrupt input, not a use case.
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  std::optional<JsonValue> value() {
+    if (++depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (eof()) return std::nullopt;
+    std::optional<JsonValue> out;
+    switch (peek()) {
+      case '{': out = object(); break;
+      case '[': out = array(); break;
+      case '"': out = string(); break;
+      case 't':
+        out = consume_literal("true") ? std::optional(JsonValue::boolean(true))
+                                      : std::nullopt;
+        break;
+      case 'f':
+        out = consume_literal("false")
+                  ? std::optional(JsonValue::boolean(false))
+                  : std::nullopt;
+        break;
+      case 'n':
+        out = consume_literal("null") ? std::optional(JsonValue::null())
+                                      : std::nullopt;
+        break;
+      default: out = number(); break;
+    }
+    --depth;
+    return out;
+  }
+
+  std::optional<JsonValue> object() {
+    if (!consume('{')) return std::nullopt;
+    std::map<std::string, JsonValue> members;
+    skip_ws();
+    if (consume('}')) return JsonValue::object(std::move(members));
+    while (true) {
+      skip_ws();
+      std::optional<JsonValue> key = string();
+      if (!key.has_value()) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      std::optional<JsonValue> val = value();
+      if (!val.has_value()) return std::nullopt;
+      members.insert_or_assign(key->as_string(), std::move(*val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue::object(std::move(members));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    if (!consume('[')) return std::nullopt;
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) return JsonValue::array(std::move(items));
+    while (true) {
+      std::optional<JsonValue> val = value();
+      if (!val.has_value()) return std::nullopt;
+      items.push_back(std::move(*val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue::array(std::move(items));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (true) {
+      if (eof()) return std::nullopt;
+      const char c = text[pos++];
+      if (c == '"') return JsonValue::string(std::move(out));
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) return std::nullopt;
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+          }
+          // Our writers only escape control characters; anything else
+          // decodes to a placeholder rather than full UTF-16 handling.
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos;
+    if (!eof() && peek() == '-') ++pos;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    bool is_integer = true;
+    if (!eof() && peek() == '.') {
+      is_integer = false;
+      ++pos;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      is_integer = false;
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    const std::string_view token = text.substr(start, pos - start);
+    if (token.empty() || token == "-") return std::nullopt;
+    if (is_integer) {
+      // Unsigned first: 64-bit digests and offsets exceed int64 range.
+      if (token[0] != '-') {
+        std::uint64_t u = 0;
+        const auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), u);
+        if (ec == std::errc{} && p == token.data() + token.size()) {
+          return JsonValue::number_u(u);
+        }
+      } else {
+        std::int64_t i = 0;
+        const auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), i);
+        if (ec == std::errc{} && p == token.data() + token.size()) {
+          return JsonValue::number(i);
+        }
+      }
+    }
+    // Fall through to double for fractions, exponents, and overflow.
+    const std::string copy(token);  // strtod needs a terminator
+    char* end = nullptr;
+    const double d = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) return std::nullopt;
+    return JsonValue::number_d(d);
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json_prefix(std::string_view text,
+                                           std::size_t& pos) {
+  Parser p{text, pos};
+  std::optional<JsonValue> v = p.value();
+  if (v.has_value()) pos = p.pos;
+  return v;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  Parser p{text, 0};
+  std::optional<JsonValue> v = p.value();
+  if (!v.has_value()) return std::nullopt;
+  p.skip_ws();
+  if (!p.eof()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace xentry::obs

@@ -106,6 +106,22 @@ class Log2Histogram {
     }
   }
 
+  /// Reassembles a histogram from serialized state (snapshot readback).
+  /// `min_v`/`max_v` are ignored when `count` is 0.
+  static Log2Histogram from_parts(const std::uint64_t (&buckets)[kNumBuckets],
+                                  std::uint64_t count, std::uint64_t sum,
+                                  std::uint64_t min_v, std::uint64_t max_v) {
+    Log2Histogram h;
+    for (int i = 0; i < kNumBuckets; ++i) h.buckets_[i] = buckets[i];
+    h.count_ = count;
+    h.sum_ = sum;
+    if (count > 0) {
+      h.min_ = min_v;
+      h.max_ = max_v;
+    }
+    return h;
+  }
+
  private:
   std::uint64_t buckets_[kNumBuckets] = {};
   std::uint64_t count_ = 0;

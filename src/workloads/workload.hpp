@@ -76,6 +76,14 @@ class WorkloadGenerator {
 
   std::uint64_t activations_generated() const { return count_; }
 
+  /// Checkpoint support: the RNG stream and the activation count are the
+  /// generator's only mutable state — the mixture picker is reconstructed
+  /// deterministically from the profile, and the standard distributions
+  /// consumed through it are stateless between calls.
+  std::mt19937_64& rng() { return rng_; }
+  const std::mt19937_64& rng() const { return rng_; }
+  void set_activations_generated(std::uint64_t n) { count_ = n; }
+
  private:
   const hv::Machine& machine_;
   WorkloadProfile profile_;

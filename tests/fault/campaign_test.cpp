@@ -476,6 +476,7 @@ TEST(CampaignTest, TraceCoversCampaignPhases) {
   cfg.shards = 2;
   cfg.xentry.transition_detection = false;  // no model installed
   cfg.obs.tracing = true;
+  cfg.obs.metrics = true;
   const auto res = run_campaign(cfg);
   bool saw_warmup = false, saw_probe = false, saw_faulted = false;
   for (const auto& ev : res.trace.events()) {
@@ -489,6 +490,11 @@ TEST(CampaignTest, TraceCoversCampaignPhases) {
   EXPECT_TRUE(saw_probe);
   EXPECT_TRUE(saw_faulted);
   EXPECT_EQ(res.trace.dropped(), 0u);
+  // The recorder's drop count is mirrored into the registry so snapshot
+  // and heartbeat consumers see it without parsing the trace footer.
+  ASSERT_NE(res.metrics.find_gauge("obs.trace.dropped"), nullptr);
+  EXPECT_EQ(res.metrics.find_gauge("obs.trace.dropped")->value(),
+            static_cast<std::int64_t>(res.trace.dropped()));
 }
 
 TEST(CampaignTest, UniformSweepCoversAllReasons) {

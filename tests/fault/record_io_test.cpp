@@ -1,0 +1,178 @@
+#include "fault/record_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fault/outcome.hpp"
+
+namespace xentry::fault {
+namespace {
+
+/// A record with every encoded field away from its default.
+InjectionRecord sample_record(int i) {
+  InjectionRecord r;
+  switch (i % 3) {
+    case 0:
+      r.reason = hv::ExitReason::hypercall(static_cast<hv::Hypercall>(2));
+      break;
+    case 1:
+      r.reason = hv::ExitReason::irq(5);
+      break;
+    default:
+      r.reason = hv::ExitReason::softirq();
+      break;
+  }
+  r.activation_seed = 0x123456789abcdef0ull + static_cast<std::uint64_t>(i);
+  r.vcpu = i % 4;
+  r.injection.at_step = 77 + static_cast<std::uint64_t>(i);
+  r.injection.reg = static_cast<sim::Reg>(i % 8);
+  r.injection.bit = (i * 7) % 64;
+  r.injected = true;
+  r.activated = i % 2 == 0;
+  r.consequence = static_cast<Consequence>(i % kNumConsequences);
+  r.detected = i % 2 == 1;
+  r.technique = static_cast<Technique>(i % kNumTechniques);
+  r.latency = 1000u * static_cast<std::uint64_t>(i);
+  r.trap = sim::TrapKind::None;
+  r.assert_id = static_cast<std::uint32_t>(i);
+  r.trace_diverged = i % 5 == 0;
+  r.undetected = static_cast<UndetectedClass>(i % 5);
+  r.features = {100 + i, 200 + i, 300 + i, 400 + i, 500 + i};
+  r.weight = 1.0 / (1.0 + i);  // exercises %.17g round-tripping
+  r.masked_weight = 1.0 - r.weight;
+  return r;
+}
+
+std::vector<InjectionRecord> sample_records(int n) {
+  std::vector<InjectionRecord> recs;
+  for (int i = 0; i < n; ++i) recs.push_back(sample_record(i));
+  return recs;
+}
+
+class RecordIoFormatTest : public ::testing::TestWithParam<obs::RecordFormat> {
+};
+
+TEST_P(RecordIoFormatTest, EncodeDecodeRoundTripsEveryField) {
+  const auto fmt = GetParam();
+  const auto recs = sample_records(12);
+  std::string stream;
+  for (const auto& r : recs) encode_record(r, fmt, stream);
+
+  std::vector<InjectionRecord> decoded;
+  EXPECT_TRUE(decode_records(stream, fmt, decoded));
+  ASSERT_EQ(decoded.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& a = recs[i];
+    const auto& b = decoded[i];
+    EXPECT_EQ(a.reason, b.reason) << i;
+    EXPECT_EQ(a.activation_seed, b.activation_seed) << i;
+    EXPECT_EQ(a.vcpu, b.vcpu) << i;
+    EXPECT_EQ(a.injection.at_step, b.injection.at_step) << i;
+    EXPECT_EQ(a.injection.reg, b.injection.reg) << i;
+    EXPECT_EQ(a.injection.bit, b.injection.bit) << i;
+    EXPECT_EQ(a.injected, b.injected) << i;
+    EXPECT_EQ(a.activated, b.activated) << i;
+    EXPECT_EQ(a.consequence, b.consequence) << i;
+    EXPECT_EQ(a.detected, b.detected) << i;
+    EXPECT_EQ(a.technique, b.technique) << i;
+    EXPECT_EQ(a.latency, b.latency) << i;
+    EXPECT_EQ(a.trap, b.trap) << i;
+    EXPECT_EQ(a.assert_id, b.assert_id) << i;
+    EXPECT_EQ(a.trace_diverged, b.trace_diverged) << i;
+    EXPECT_EQ(a.undetected, b.undetected) << i;
+    EXPECT_EQ(a.features.as_array(), b.features.as_array()) << i;
+    // Weights survive exactly (%.17g / raw bits round-trip).
+    EXPECT_EQ(a.weight, b.weight) << i;
+    EXPECT_EQ(a.masked_weight, b.masked_weight) << i;
+  }
+  // The digest contract: the persisted stream is digest-equivalent to the
+  // in-memory records it came from.
+  EXPECT_EQ(records_digest(decoded), records_digest(recs));
+}
+
+TEST_P(RecordIoFormatTest, TruncatedStreamKeepsTheIntactPrefix) {
+  const auto fmt = GetParam();
+  const auto recs = sample_records(4);
+  std::string stream;
+  for (const auto& r : recs) encode_record(r, fmt, stream);
+
+  std::string one;
+  encode_record(recs[0], fmt, one);
+  const std::string torn = stream.substr(0, stream.size() - one.size() / 2);
+  std::vector<InjectionRecord> decoded;
+  EXPECT_FALSE(decode_records(torn, fmt, decoded));
+  EXPECT_EQ(decoded.size(), 3u);
+
+  // decode_record on the torn tail reports failure without advancing.
+  std::size_t pos = 0;
+  std::string_view tail =
+      std::string_view(torn).substr(torn.size() - one.size() / 2);
+  InjectionRecord out;
+  EXPECT_FALSE(decode_record(tail, fmt, pos, out));
+  EXPECT_EQ(pos, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, RecordIoFormatTest,
+                         ::testing::Values(obs::RecordFormat::kJsonl,
+                                           obs::RecordFormat::kBinary),
+                         [](const auto& info) {
+                           return std::string(
+                               obs::record_format_name(info.param));
+                         });
+
+TEST(RecordIoTest, FormatsAreDecodeEquivalent) {
+  const auto recs = sample_records(8);
+  std::string jsonl, bin;
+  for (const auto& r : recs) {
+    encode_record(r, obs::RecordFormat::kJsonl, jsonl);
+    encode_record(r, obs::RecordFormat::kBinary, bin);
+  }
+  std::vector<InjectionRecord> from_jsonl, from_bin;
+  ASSERT_TRUE(decode_records(jsonl, obs::RecordFormat::kJsonl, from_jsonl));
+  ASSERT_TRUE(decode_records(bin, obs::RecordFormat::kBinary, from_bin));
+  ASSERT_EQ(from_jsonl.size(), from_bin.size());
+  EXPECT_EQ(records_digest(from_jsonl), records_digest(from_bin));
+  // Binary earns its keep: meaningfully denser than JSONL.
+  EXPECT_LT(bin.size(), jsonl.size());
+}
+
+TEST(RecordIoTest, DigestIgnoresPostmortemPayloadsAndWeights) {
+  InjectionRecord a = sample_record(1);
+  InjectionRecord b = a;
+  b.weight = 0.125;
+  b.masked_weight = 0.875;
+  b.blackbox.resize(3);
+  const std::uint64_t da = digest_update(kDigestBasis, a);
+  EXPECT_EQ(da, digest_update(kDigestBasis, b));
+
+  // But every digested field matters.
+  InjectionRecord c = a;
+  c.latency += 1;
+  EXPECT_NE(da, digest_update(kDigestBasis, c));
+  InjectionRecord d = a;
+  d.detected = !d.detected;
+  EXPECT_NE(da, digest_update(kDigestBasis, d));
+}
+
+TEST(RecordIoTest, StreamDigestIsTheFoldOfRecordDigests) {
+  const auto recs = sample_records(5);
+  std::uint64_t h = kDigestBasis;
+  for (const auto& r : recs) h = digest_update(h, r);
+  EXPECT_EQ(records_digest(recs), h);
+  EXPECT_EQ(records_digest({}), kDigestBasis);
+}
+
+TEST(RecordIoTest, JsonlFramesAreSingleTerminatedLines) {
+  std::string out;
+  encode_record(sample_record(0), obs::RecordFormat::kJsonl, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_EQ(out.find('\n'), out.size() - 1);  // no embedded newlines
+  EXPECT_EQ(out.front(), '{');
+}
+
+}  // namespace
+}  // namespace xentry::fault
