@@ -24,6 +24,7 @@
 #include <fstream>
 #include <iterator>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "fault/stats.hpp"
 #include "hv/machine.hpp"
 #include "hv/microvisor.hpp"
+#include "obs/atomic_file.hpp"
 #include "obs/record_sink.hpp"
 
 namespace {
@@ -82,19 +84,28 @@ std::vector<fault::InjectionRecord> read_streamed_records(
 }
 
 /// Progress heartbeat on stderr, one line per sample, so a long campaign
-/// is observable without touching the JSON contract on stdout.
+/// is observable without touching the JSON contract on stdout.  Sink
+/// drops and shard stragglers only appear when nonzero — a healthy
+/// campaign's line stays free of alarm fields.
 void print_heartbeat(const fault::HeartbeatSample& s) {
+  std::string alerts;
+  if (s.sink_dropped > 0) {
+    alerts += "  drops=" + std::to_string(s.sink_dropped);
+  }
+  if (s.stragglers > 0) {
+    alerts += "  strag=" + std::to_string(s.stragglers);
+  }
   std::fprintf(
       stderr,
       "[micro_campaign] %llu/%llu injections  %.0f inj/s "
-      "(recent %.0f)  detected %llu  ckpt=%llu  lag=%lluB  elapsed %.1fs  "
+      "(recent %.0f)  detected %llu  ckpt=%llu  lag=%lluB%s  elapsed %.1fs  "
       "eta %.0fs%s\n",
       static_cast<unsigned long long>(s.completed),
       static_cast<unsigned long long>(s.total), s.injections_per_sec,
       s.recent_per_sec, static_cast<unsigned long long>(s.detected_total),
       static_cast<unsigned long long>(s.checkpointed),
-      static_cast<unsigned long long>(s.sink_lag_bytes), s.elapsed_sec,
-      s.eta_sec, s.last ? "  [final]" : "");
+      static_cast<unsigned long long>(s.sink_lag_bytes), alerts.c_str(),
+      s.elapsed_sec, s.eta_sec, s.last ? "  [final]" : "");
 }
 
 CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
@@ -155,8 +166,11 @@ CampaignScore time_campaign(int injections, int shards, std::uint64_t seed,
   score.digest = bench::records_digest(records);
   score.weighted = fault::weighted_rates(records);
   if (!metrics_out.empty()) {
-    std::ofstream os(metrics_out);
+    // Atomic publication: tailing readers (the fleet plane's pattern)
+    // see either the previous report or this one, never a torn write.
+    std::ostringstream os;
     res.metrics.write_json(os);
+    obs::write_file_atomic(metrics_out, os.str());
   }
   if (!forensics_out.empty()) {
     std::ofstream os(forensics_out);

@@ -302,6 +302,31 @@ int cmd_verify(const Flags& f) {
           ok = false;
         }
       }
+      // Sink backpressure audit: the metrics sidecars next to the
+      // journal carry the writer's own obs.sink.* counters.  A nonzero
+      // drop count means frames never reached the stream, so a clean
+      // digest over what DID land would be a hollow verification.
+      // Missing sidecars are fine (metrics off, or units owned by
+      // another fleet worker).
+      obs::MetricsRegistry side;
+      for (std::size_t s = 0; s < journal.shards.size(); ++s) {
+        const auto text =
+            read_file(fault::snapshot_sidecar_path(f.checkpoint,
+                                                   static_cast<int>(s)));
+        if (!text.has_value() || text->empty()) continue;
+        side.merge_from(obs::merge_snapshots(obs::read_snapshots(*text)));
+      }
+      if (const obs::Counter* dropped = side.find_counter("obs.sink.dropped");
+          dropped != nullptr && dropped->value() > 0) {
+        std::fprintf(stderr,
+                     "FAIL: metrics sidecars report %" PRIu64
+                     " dropped record-sink frame(s) — the persisted stream "
+                     "is incomplete (write-time backpressure or I/O "
+                     "failure), so this campaign's records cannot be "
+                     "trusted as complete\n",
+                     dropped->value());
+        ok = false;
+      }
     }
   }
   if (f.digest.has_value() && full_digest != *f.digest) {

@@ -4,8 +4,10 @@
 #include "fault/checkpoint.hpp"
 #include "fault/record_io.hpp"
 #include "fault/sampler.hpp"
+#include "obs/fleet_view.hpp"
 #include "obs/snapshot.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -15,6 +17,7 @@
 #include <iterator>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -52,6 +55,43 @@ void validate_campaign_config(const CampaignConfig& cfg) {
     fail("shards must be >= 0 (0 = hardware concurrency), got " +
          std::to_string(cfg.shards));
   }
+  if (cfg.fleet.unit_count < 0) {
+    fail("fleet.unit_count must be >= 0 (0 = not a fleet worker), got " +
+         std::to_string(cfg.fleet.unit_count));
+  }
+  if (cfg.fleet.unit_count > 0) {
+    if (cfg.streaming.records_path.empty()) {
+      fail("fleet.unit_count is set without streaming.records_path — fleet "
+           "work units only exist as durable shard streams; point "
+           "records_path at the shared campaign directory");
+    }
+    if (cfg.injections > 0 && cfg.fleet.unit_count > cfg.injections) {
+      fail("fleet.unit_count " + std::to_string(cfg.fleet.unit_count) +
+           " exceeds injections " + std::to_string(cfg.injections) +
+           " — the equivalent single-process campaign clamps shards to "
+           "injections, so the partitions could never match");
+    }
+    if (cfg.fleet.units.empty()) {
+      fail("fleet.unit_count is set but fleet.units is empty — this process "
+           "would own no work units");
+    }
+    std::vector<bool> seen(static_cast<std::size_t>(cfg.fleet.unit_count));
+    for (int u : cfg.fleet.units) {
+      if (u < 0 || u >= cfg.fleet.unit_count) {
+        fail("fleet.units entry " + std::to_string(u) +
+             " is outside [0, unit_count=" +
+             std::to_string(cfg.fleet.unit_count) + ")");
+      }
+      if (seen[static_cast<std::size_t>(u)]) {
+        fail("fleet.units contains unit " + std::to_string(u) +
+             " twice — a unit's stream would be written by two shards");
+      }
+      seen[static_cast<std::size_t>(u)] = true;
+    }
+  } else if (!cfg.fleet.units.empty()) {
+    fail("fleet.units is set without fleet.unit_count — set unit_count to "
+         "the fleet-wide size of the unit space");
+  }
   if (cfg.obs.flight_recorder && cfg.obs.flight_recorder_depth <= 0) {
     fail("obs.flight_recorder enabled with non-positive "
          "flight_recorder_depth " +
@@ -87,6 +127,11 @@ void validate_campaign_config(const CampaignConfig& cfg) {
   if (!(cfg.heartbeat.interval_sec >= 0) ||
       std::isinf(cfg.heartbeat.interval_sec)) {
     fail("heartbeat.interval_sec must be finite and >= 0");
+  }
+  if (!(cfg.heartbeat.straggler_fraction >= 0.0 &&
+        cfg.heartbeat.straggler_fraction < 1.0)) {
+    fail("heartbeat.straggler_fraction must be within [0, 1), got " +
+         std::to_string(cfg.heartbeat.straggler_fraction));
   }
   if (cfg.xentry.transition_detection && cfg.model.empty() &&
       !cfg.collect_dataset) {
@@ -169,6 +214,9 @@ struct alignas(64) ShardProgress {
   std::atomic<std::uint64_t> checkpointed{0};
   /// Record-sink bytes buffered but not yet flushed (sink flush lag).
   std::atomic<std::uint64_t> sink_lag{0};
+  /// Record-sink frames dropped (mirror of the shard's sink stats — the
+  /// stats struct itself is single-writer and unsafe for the monitor).
+  std::atomic<std::uint64_t> dropped{0};
 };
 
 /// Campaign-level metric handles, resolved once per shard.
@@ -533,6 +581,8 @@ CampaignResult run_shard(
         if (progress != nullptr) {
           progress->sink_lag.store(sink->buffered_bytes(shard_index),
                                    std::memory_order_relaxed);
+          progress->dropped.store(sink->stats(shard_index).dropped,
+                                  std::memory_order_relaxed);
         }
       }
       if (cm.injections != nullptr) {
@@ -646,12 +696,28 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     compiled = analysis::compile_threaded(*cfg.analysis);
   }
 
+  // Fleet mode pins the shard space to the fleet-wide unit count (the
+  // same quotas and seeds the single-process run with shards = unit_count
+  // uses) and this process executes only its assigned subset.
+  const bool fleet = cfg.fleet.unit_count > 0;
   int shards = cfg.shards;
-  if (shards <= 0) {
-    shards = static_cast<int>(std::thread::hardware_concurrency());
-    if (shards <= 0) shards = 4;
+  if (fleet) {
+    shards = cfg.fleet.unit_count;
+  } else {
+    if (shards <= 0) {
+      shards = static_cast<int>(std::thread::hardware_concurrency());
+      if (shards <= 0) shards = 4;
+    }
+    if (shards > cfg.injections && cfg.injections > 0) shards = cfg.injections;
   }
-  if (shards > cfg.injections && cfg.injections > 0) shards = cfg.injections;
+  std::vector<int> active;  // shard indices this process runs, ascending
+  if (fleet) {
+    active = cfg.fleet.units;
+    std::sort(active.begin(), active.end());
+  } else {
+    active.resize(static_cast<std::size_t>(shards));
+    std::iota(active.begin(), active.end(), 0);
+  }
 
   const wl::WorkloadProfile profile =
       cfg.workload.mix.empty() ? uniform_sweep_profile() : cfg.workload;
@@ -668,6 +734,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   header.importance = cfg.sampling.importance;
   header.checkpoint_every = st.checkpoint_every;
   header.records_format = static_cast<std::uint8_t>(st.records_format);
+  if (fleet) header.units = active;
   JournalContents journal_state;
   bool resuming = false;
   if (!st.checkpoint_path.empty()) {
@@ -694,6 +761,12 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     so.format = st.records_format;
     so.shard_count = static_cast<std::size_t>(shards);
     so.buffer_bytes = st.sink_buffer_bytes;
+    if (fleet) {
+      so.active_shards.reserve(active.size());
+      for (int u : active) {
+        so.active_shards.push_back(static_cast<std::size_t>(u));
+      }
+    }
     if (resuming) {
       // Truncate each shard stream to its journaled durable offset: frames
       // past the last commit point are torn tails, rewritten on resume.
@@ -733,18 +806,32 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     progress = std::make_unique<ShardProgress[]>(
         static_cast<std::size_t>(shards));
   }
+  const auto shard_quota = [&](int u) {
+    return static_cast<std::uint64_t>(
+        cfg.injections / shards + (u < cfg.injections % shards ? 1 : 0));
+  };
+  // This process's own workload: in fleet mode the sum of the assigned
+  // units' quotas, otherwise exactly cfg.injections.
+  std::uint64_t hb_total = 0;
+  for (int u : active) hb_total += shard_quota(u);
   const auto make_sample = [&](bool last) {
     HeartbeatSample s;
     s.last = last;
-    s.total = static_cast<std::uint64_t>(cfg.injections);
-    for (int i = 0; i < shards; ++i) {
-      s.completed += progress[i].completed.load(std::memory_order_relaxed);
-      s.checkpointed +=
-          progress[i].checkpointed.load(std::memory_order_relaxed);
-      s.sink_lag_bytes += progress[i].sink_lag.load(std::memory_order_relaxed);
+    s.total = hb_total;
+    s.shards.reserve(active.size());
+    for (int u : active) {
+      const ShardProgress& p = progress[u];
+      HeartbeatSample::ShardThroughput tp;
+      tp.shard = u;
+      tp.completed = p.completed.load(std::memory_order_relaxed);
+      s.shards.push_back(tp);
+      s.completed += tp.completed;
+      s.checkpointed += p.checkpointed.load(std::memory_order_relaxed);
+      s.sink_lag_bytes += p.sink_lag.load(std::memory_order_relaxed);
+      s.sink_dropped += p.dropped.load(std::memory_order_relaxed);
       for (int t = 0; t < kNumTechniques; ++t) {
         s.detected_by_technique[static_cast<std::size_t>(t)] +=
-            progress[i].detected[t].load(std::memory_order_relaxed);
+            p.detected[t].load(std::memory_order_relaxed);
       }
     }
     for (std::uint64_t d : s.detected_by_technique) s.detected_total += d;
@@ -761,6 +848,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
       std::mutex m;
       std::condition_variable_any cv;
       std::uint64_t prev_completed = 0;
+      std::vector<std::uint64_t> prev_shard(active.size(), 0);
       auto prev_t = Clock::now();
       std::unique_lock lk(m);
       const auto interval =
@@ -774,6 +862,30 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
         s.recent_per_sec =
             dt > 0 ? static_cast<double>(s.completed - prev_completed) / dt
                    : 0.0;
+        // Per-shard recent rates feed the straggler monitor; shards that
+        // already finished their quota are exempt (a done shard is not
+        // slow, it is done).
+        std::vector<double> rates;
+        std::vector<std::size_t> unfinished;
+        for (std::size_t k = 0; k < s.shards.size(); ++k) {
+          HeartbeatSample::ShardThroughput& tp = s.shards[k];
+          tp.recent_per_sec =
+              dt > 0 ? static_cast<double>(tp.completed - prev_shard[k]) / dt
+                     : 0.0;
+          prev_shard[k] = tp.completed;
+          if (tp.completed < shard_quota(tp.shard)) {
+            unfinished.push_back(k);
+            rates.push_back(tp.recent_per_sec);
+          }
+        }
+        const std::vector<bool> lag =
+            obs::flag_stragglers(rates, cfg.heartbeat.straggler_fraction);
+        for (std::size_t j = 0; j < unfinished.size(); ++j) {
+          if (lag[j]) {
+            s.shards[unfinished[j]].straggler = true;
+            ++s.stragglers;
+          }
+        }
         // ETA from the freshest rate available: the recent window tracks
         // load changes; the mean covers the first interval.
         const double rate =
@@ -791,8 +903,8 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
   std::vector<CampaignResult> partials(static_cast<std::size_t>(shards));
   {
     std::vector<std::jthread> threads;
-    threads.reserve(static_cast<std::size_t>(shards));
-    for (int s = 0; s < shards; ++s) {
+    threads.reserve(active.size());
+    for (const int s : active) {
       threads.emplace_back([&cfg, &profile, &partials, &progress, &compiled,
                             &sink, &journal, &journal_state, resuming, s,
                             shards, epoch] {

@@ -48,6 +48,21 @@ struct HeartbeatSample {
   std::uint64_t checkpointed = 0;
   /// Record-sink bytes appended but not yet flushed to disk.
   std::uint64_t sink_lag_bytes = 0;
+  /// Record-sink frames dropped across all shards (nonzero only when a
+  /// sink failed or hit a capacity cap — a healthy file sink never drops).
+  std::uint64_t sink_dropped = 0;
+  /// Per-shard progress, one entry per *running* shard of this process,
+  /// in shard order.  Feeds the straggler monitor and the fleet plane.
+  struct ShardThroughput {
+    int shard = -1;
+    std::uint64_t completed = 0;
+    double recent_per_sec = 0;  ///< since the previous heartbeat
+    /// True when this shard's recent rate fell below
+    /// `Heartbeat::straggler_fraction` of the median across shards.
+    bool straggler = false;
+  };
+  std::vector<ShardThroughput> shards;
+  std::uint64_t stragglers = 0;  ///< count of flagged shards this sample
   bool last = false;  ///< true for the exact post-join sample
 };
 
@@ -66,6 +81,21 @@ struct CampaignConfig {
   int stream_gap = 2;
   std::uint64_t seed = 1;
   int shards = 0;  ///< 0: hardware concurrency
+
+  /// Fleet partition (src/fault/fleet.hpp).  A fleet campaign fixes the
+  /// shard space to `unit_count` deterministic work units — the same
+  /// quotas and seeds the equivalent single-process run with
+  /// `shards = unit_count` would use — and this process executes only the
+  /// `units` subset.  Unit streams land in the single-process shard-file
+  /// layout (`<records_path>.shard<u>.*`), so the files from any worker
+  /// partition concatenate in unit order to the identical byte stream.
+  /// Requires streaming.records_path; `units` must be unique and within
+  /// [0, unit_count).  unit_count == 0 disables fleet mode.
+  struct FleetConfig {
+    int unit_count = 0;
+    std::vector<int> units;
+  };
+  FleetConfig fleet{};
 
   hv::MicrovisorOptions machine{};
   XentryConfig xentry{};
@@ -144,6 +174,10 @@ struct CampaignConfig {
   struct Heartbeat {
     double interval_sec = 0;
     std::function<void(const HeartbeatSample&)> callback;
+    /// A shard whose recent rate drops below this fraction of the median
+    /// across this process's shards is flagged as a straggler in
+    /// HeartbeatSample::shards.  Must be in [0, 1); 0 disables flagging.
+    double straggler_fraction = 0.5;
   };
   Heartbeat heartbeat{};
 };

@@ -102,6 +102,18 @@ std::string header_line(const CheckpointHeader& h) {
   append_u64(line, static_cast<std::uint64_t>(h.checkpoint_every));
   line += ",\"fmt\":";
   append_u64(line, h.records_format);
+  // Only fleet workers carry a unit assignment; omitting the key keeps
+  // single-process journals byte-identical to pre-fleet ones.
+  if (!h.units.empty()) {
+    line += ",\"units\":[";
+    bool first = true;
+    for (int u : h.units) {
+      if (!first) line += ',';
+      first = false;
+      append_u64(line, static_cast<std::uint64_t>(u));
+    }
+    line += ']';
+  }
   line += "}\n";
   return line;
 }
@@ -220,6 +232,12 @@ JournalContents read_journal(const std::string& path) {
       out.header.checkpoint_every = static_cast<int>(v->get_int("every"));
       out.header.records_format =
           static_cast<std::uint8_t>(v->get_uint("fmt"));
+      if (const obs::JsonValue* units = v->get("units");
+          units != nullptr && units->is_array()) {
+        for (const obs::JsonValue& u : units->as_array()) {
+          out.header.units.push_back(static_cast<int>(u.as_int()));
+        }
+      }
       if (out.header.shards <= 0) break;
       out.shards.resize(static_cast<std::size_t>(out.header.shards));
       have_header = true;

@@ -1,0 +1,131 @@
+// Fleet campaign coordinator: one campaign, many worker processes.
+//
+// The injection space of a campaign is partitioned into `units`
+// deterministic work units — exactly the shard space the single-process
+// run with `shards = units` uses: unit u's quota is
+// `injections/units + (u < injections%units)` and its RNG seeds derive
+// from (seed, u) alone, so results never depend on which process runs a
+// unit or on the worker count.  Units are assigned round-robin
+// (`u % workers`), each worker streams its units into the
+// single-process shard-file layout (`<dir>/records.shard<u>.*`), and
+// the files concatenated in unit order are byte-identical to the
+// single-process run's for ANY worker count — including after a worker
+// is SIGKILLed and restarted, because each worker owns a private
+// checkpoint journal (`<dir>/ckpt.worker<W>`) whose unit assignment is
+// part of the resume identity, and the PR's resume machinery rewrites
+// the post-kill suffix bit-identically.
+//
+// The coordinator supervises the fleet: it spawns workers (fork by
+// default; the CLI substitutes fork+exec of itself in --worker mode),
+// reaps exits, restarts unhealthy workers (nonzero exit, stall —
+// no heartbeat/journal/sidecar signal within a timeout — and chaos
+// kills) up to a per-worker restart budget, and drives the live
+// observability plane (obs::FleetView): merged metrics from every
+// unit's snapshot sidecar, an atomically-rewritten status.json, and a
+// one-line dashboard.  On completion it decodes every unit stream in
+// unit order, re-derives the records digest, cross-checks it against
+// the journals' per-unit digests, and merges the final metrics — the
+// digest and the timing-stripped metrics are bit-identical to the
+// equivalent single-process run's (DESIGN.md section 5h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/stats.hpp"
+
+namespace xentry::fault {
+
+/// Units owned by `worker`: round-robin, unit u belongs to worker
+/// u % workers.  Ascending, possibly empty when workers > unit_count.
+std::vector<int> fleet_units_for_worker(int unit_count, int workers,
+                                        int worker);
+
+/// Shared record-stream base: `<dir>/records` (shard files hang off it).
+std::string fleet_records_path(const std::string& dir);
+/// Worker W's private checkpoint journal: `<dir>/ckpt.worker<W>`.
+std::string fleet_checkpoint_path(const std::string& dir, int worker);
+/// Worker W's heartbeat file: `<dir>/hb.worker<W>.json`.
+std::string fleet_heartbeat_path(const std::string& dir, int worker);
+/// The coordinator's status document: `<dir>/status.json`.
+std::string fleet_status_path(const std::string& dir);
+
+struct FleetOptions {
+  /// Campaign identity and knobs (injections, seed, bias, sampling,
+  /// engine, checkpoint_every, records_format...).  The fleet fields,
+  /// streaming paths, heartbeat callback, keep_records, and
+  /// collect_dataset are overwritten per worker by make_worker_config.
+  CampaignConfig base{};
+  int units = 0;    ///< work-unit count; 0 = one per worker
+  int workers = 1;  ///< worker process count
+  std::string dir;  ///< campaign directory (must already exist)
+
+  double status_interval_sec = 1.0;    ///< status.json / dashboard cadence
+  double worker_heartbeat_sec = 0.25;  ///< worker heartbeat-file cadence
+  double stall_timeout_sec = 30.0;     ///< no-signal window before restart
+  double straggler_fraction = 0.5;     ///< see obs::flag_stragglers
+  int max_restarts = 2;                ///< restart budget per worker
+
+  /// Spawns worker `worker` (attempt 0 is the first launch) and returns
+  /// its pid, or -1 on failure.  Default: fork + run_fleet_worker in the
+  /// child.  The CLI overrides this with fork+exec of the same binary in
+  /// --worker mode, which is what makes the plane cross-process for real.
+  std::function<long(int worker, int attempt)> spawn;
+
+  /// Chaos hook: once fleet-wide completed injections reach this count,
+  /// SIGKILL the first running worker (once).  0 = off.  Exercises the
+  /// kill → restart → bit-identical-result path with a real signal.
+  int kill_one_after = 0;
+  /// Deterministic test stand-in for kill_one_after: worker 0's first
+  /// attempt runs with streaming.abort_after set to this iteration count
+  /// (buffered sink bytes are dropped, no final checkpoint) and exits
+  /// nonzero, forcing a restart from its journal.  0 = off.
+  int simulate_kill_worker0_after = 0;
+
+  /// Receives dashboard_line() once per status interval (e.g. stderr).
+  std::function<void(const std::string&)> dashboard;
+};
+
+/// The campaign configuration worker `worker` runs: base plus the fleet
+/// partition, the shared record-stream base path, the worker's private
+/// journal, and observability forced on (metrics sidecars feed the
+/// plane; records are not kept in RAM).
+CampaignConfig make_worker_config(const FleetOptions& opts, int worker);
+
+/// Runs worker `worker`'s share of the campaign in THIS process — the
+/// body of the CLI's --worker mode and of the default fork spawn.
+/// Installs a heartbeat callback that atomically publishes the worker's
+/// progress to its heartbeat file.  Returns a process exit code: 0 on
+/// success, nonzero on error or when `simulate_kill` cut the run short.
+int run_fleet_worker(const FleetOptions& opts, int worker,
+                     bool simulate_kill = false);
+
+struct FleetResult {
+  bool ok = false;
+  std::string error;  ///< non-empty when !ok
+
+  /// Every unit stream decoded, concatenated in unit order — exactly
+  /// the single-process run's record order.
+  std::vector<InjectionRecord> records;
+  /// records_digest(records), bit-comparable to the single-process run.
+  std::uint64_t digest = 0;
+  /// Re-derived per-unit digests matched every journaled digest.
+  bool digest_cross_checked = false;
+  WeightedRates rates;
+  /// Unit sidecar registries merged + the campaign.shards gauge (the
+  /// single-process merge order is reproduced; compare after
+  /// obs::strip_timing_metrics).
+  obs::MetricsRegistry metrics;
+
+  double elapsed_sec = 0;
+  int restarts = 0;  ///< fleet-wide restart count
+  std::vector<int> worker_restarts;
+};
+
+/// Runs the whole fleet: spawn, supervise, observe, merge, verify.
+FleetResult run_fleet(const FleetOptions& opts);
+
+}  // namespace xentry::fault

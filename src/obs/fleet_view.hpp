@@ -1,0 +1,152 @@
+// Live cross-process observability plane for fleet campaigns.
+//
+// A fleet coordinator (src/fault/fleet.hpp) spawns worker processes that
+// each publish two kinds of files: a heartbeat JSON rewritten atomically
+// on a sub-second cadence (obs/atomic_file.hpp) and, per owned work
+// unit, the metrics-snapshot sidecar the checkpoint machinery already
+// streams.  `FleetView` is the reader side: it tails all of those files
+// with the snapshot layer's torn-line tolerance, folds every unit's
+// sidecar into one merged MetricsRegistry, computes fleet health
+// (stalled workers by signal staleness, stragglers by per-unit
+// throughput against the fleet median), and renders the results as an
+// atomically-published status.json plus a one-line stderr dashboard.
+//
+// The view knows nothing about the fault layer: lifecycle transitions
+// and checkpoint-journal progress are fed in by the coordinator
+// (`set_lifecycle` / `note_journal`), and time is injected through
+// `poll(now_sec)` so health logic is testable without real clocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace xentry::obs {
+
+/// Median of `values` (by copy; the argument order does not matter).
+/// Returns 0 for an empty vector; averages the middle pair for even n.
+double median(std::vector<double> values);
+
+/// Flags entries whose rate falls below `fraction` times the median of
+/// `rates`.  No entry is flagged when `fraction` <= 0, when fewer than
+/// two rates exist (a lone worker has no peers to lag behind), or when
+/// the median itself is 0 (everyone equally stuck is a stall, not a
+/// straggle).
+std::vector<bool> flag_stragglers(const std::vector<double>& rates,
+                                  double fraction);
+
+enum class WorkerLifecycle : std::uint8_t {
+  kStarting,    ///< spawned, no signal received yet
+  kRunning,     ///< process alive
+  kRestarting,  ///< exited or was killed; a replacement is being spawned
+  kDone,        ///< exited cleanly with all its units complete
+  kFailed,      ///< exited nonzero with restarts exhausted
+};
+
+std::string_view worker_lifecycle_name(WorkerLifecycle s);
+
+class FleetView {
+ public:
+  struct Options {
+    std::uint64_t total_injections = 0;  ///< fleet-wide campaign size
+    std::uint64_t seed = 0;
+    int unit_count = 0;
+    int workers = 0;
+    /// Unit assignment per worker (size == workers).
+    std::vector<std::vector<int>> worker_units;
+    /// Heartbeat JSON path per worker (size == workers).
+    std::vector<std::string> heartbeat_paths;
+    /// Metrics sidecar paths per worker, aligned with worker_units
+    /// (size == workers; inner size == worker_units[w].size()).
+    std::vector<std::vector<std::string>> sidecar_paths;
+    /// A running worker with no fresh signal (heartbeat bytes, journal
+    /// growth, sidecar growth) for this long is flagged stalled.
+    double stall_timeout_sec = 30.0;
+    /// Worker straggler threshold, as a fraction of the fleet median
+    /// per-unit rate (see flag_stragglers); 0 disables.
+    double straggler_fraction = 0.5;
+  };
+
+  struct WorkerStatus {
+    WorkerLifecycle state = WorkerLifecycle::kStarting;
+    long pid = -1;
+    int restarts = 0;
+    // From the worker's heartbeat file.
+    std::uint64_t completed = 0;
+    std::uint64_t total = 0;  ///< the worker's own quota
+    double recent_per_sec = 0;
+    std::uint64_t sink_lag_bytes = 0;
+    std::uint64_t sink_dropped = 0;
+    std::uint64_t shard_stragglers = 0;  ///< stragglers among its own shards
+    // Fed by the coordinator from the worker's checkpoint journal.
+    std::uint64_t checkpointed = 0;
+    std::uint64_t journal_bytes = 0;
+    // Health, recomputed by poll().
+    double last_signal_sec = -1;  ///< -1 before the first poll
+    bool stalled = false;
+    bool straggler = false;
+  };
+
+  explicit FleetView(Options opts);
+
+  /// Coordinator input: process lifecycle for one worker.
+  void set_lifecycle(int worker, WorkerLifecycle state, long pid,
+                     int restarts);
+
+  /// Coordinator input: progress read from the worker's checkpoint
+  /// journal.  Growth in `journal_bytes` counts as a liveness signal.
+  void note_journal(int worker, std::uint64_t checkpointed_records,
+                    std::uint64_t journal_bytes);
+
+  /// Re-reads every worker's heartbeat file and metrics sidecars, then
+  /// recomputes stall and straggler flags.  `now_sec` is any monotonic
+  /// seconds value (injected for testability); calls must pass
+  /// non-decreasing values.
+  void poll(double now_sec);
+
+  const WorkerStatus& worker(int w) const {
+    return workers_[static_cast<std::size_t>(w)];
+  }
+  /// All units' sidecar registries merged, as of the last poll().
+  const MetricsRegistry& merged_metrics() const { return merged_; }
+
+  std::uint64_t completed() const;
+  std::uint64_t checkpointed() const;
+  std::uint64_t sink_lag_bytes() const;
+  std::uint64_t sink_dropped() const;
+  int stalled_count() const;
+  int straggler_count() const;
+  int restart_count() const;
+  /// Sum of worker recent rates (injections/sec).
+  double rate_per_sec() const;
+  /// Remaining fleet work over the current rate; 0 when unknown or done.
+  double eta_sec() const;
+
+  /// The status document (schema "xentry.fleet.status.v1"), one JSON
+  /// object: fleet identity, merged progress, sink backpressure, health,
+  /// per-worker rows, and the merged metrics registry (with histogram
+  /// percentiles).  `state` is the coordinator's phase ("running",
+  /// "done", "failed").
+  std::string status_json(std::string_view state) const;
+
+  /// Publishes status_json(state) + '\n' to `path` atomically.
+  bool write_status(const std::string& path, std::string_view state) const;
+
+  /// One-line fleet dashboard for stderr.
+  std::string dashboard_line() const;
+
+ private:
+  Options opts_;
+  std::vector<WorkerStatus> workers_;
+  MetricsRegistry merged_;
+  // Per-worker change detection: raw heartbeat bytes and total sidecar
+  // bytes from the previous poll, plus journal growth noted in between.
+  std::vector<std::string> prev_heartbeat_;
+  std::vector<std::uint64_t> prev_sidecar_bytes_;
+  std::vector<bool> journal_grew_;
+};
+
+}  // namespace xentry::obs

@@ -87,6 +87,11 @@ class ShardedFileSink final : public RecordSink {
     /// When non-empty (size == shard_count), resume mode: truncate each
     /// shard file to this offset and append.
     std::vector<std::uint64_t> resume_offsets;
+    /// Fleet partition: when non-empty, only these shard indices get a
+    /// file opened (and truncated/resumed); the rest stay closed so a
+    /// worker process never touches another worker's unit streams.
+    /// Appends to an inactive shard drop.  Empty = all shards active.
+    std::vector<std::size_t> active_shards;
   };
 
   static std::string shard_path(std::string_view base, RecordFormat f,
@@ -106,7 +111,7 @@ class ShardedFileSink final : public RecordSink {
   const SinkShardStats& stats(std::size_t shard) const override;
   std::size_t shard_count() const override { return shards_.size(); }
 
-  /// False once any shard hit an I/O failure (open or write).
+  /// False once any active shard hit an I/O failure (open or write).
   bool ok() const;
   const std::string& path(std::size_t shard) const;
 
@@ -118,6 +123,8 @@ class ShardedFileSink final : public RecordSink {
     std::uint64_t offset = 0;
     SinkShardStats stats;
     bool failed = false;
+    /// False for shards another process owns (Options::active_shards).
+    bool active = true;
   };
 
   std::size_t buffer_bytes_;
