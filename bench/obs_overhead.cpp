@@ -1,12 +1,13 @@
 // Telemetry overhead bound + digest-equality check.
 //
-// Runs the same campaign (the micro_campaign configuration) under seven
+// Runs the same campaign (the micro_campaign configuration) under eight
 // telemetry modes — two independent fully-off sets, metrics-only, fully
 // on (metrics + tracing + flight recorder), forensics (metrics +
 // lockstep replay), cfi_off (static-analysis artifacts installed but
-// control-flow detection disabled), and sinks (streaming every record
-// through the durable JSONL record sink) — and asserts the
-// observability contract.  Measurement discipline for noisy shared
+// control-flow detection disabled), timing_off (artifacts with timing
+// envelopes installed but timing detection disabled), and sinks
+// (streaming every record through the durable JSONL record sink) — and
+// asserts the observability contract.  Measurement discipline for noisy shared
 // hosts: rates are computed from process CPU time (immune to scheduler
 // steal), one untimed warmup campaign runs first, the mode order rotates
 // every rep (so no mode systematically inherits the post-boost or
@@ -28,6 +29,10 @@
 //   5. cfi_off digests equal the off digests (installing analysis
 //      artifacts with control-flow detection disabled must not perturb
 //      the observe path) and its rate is judged at `tol_disabled`;
+//   5b. timing_off digests equal the off digests (artifacts carrying
+//      timing envelopes with timing detection disabled must leave
+//      counter arming and the observe path bit-identical) and its rate
+//      is judged at `tol_disabled`;
 //   6. sinks digests equal the off digests (streaming is encode-and-
 //      append off the hot state, never a behavioral input) and its
 //      throughput stays within `tol_enabled` — the streaming pipeline's
@@ -70,6 +75,10 @@ struct Mode {
   bool install_analysis = false;
   /// Stream records through a durable JSONL ShardedFileSink.
   bool streaming = false;
+  /// Explicitly pin timing detection off while artifacts (which carry
+  /// the timing envelopes) are installed — exercises the disabled-timing
+  /// path of the observe loop, including its counter-arming decision.
+  bool timing_off = false;
 };
 
 struct RunScore {
@@ -110,6 +119,7 @@ RunScore run_once(int injections, int shards, std::uint64_t seed,
   cfg.obs = mode.obs;
   if (mode.install_analysis) cfg.analysis = std::move(analysis);
   if (mode.streaming) cfg.streaming.records_path = sink_base_path();
+  if (mode.timing_off) cfg.xentry.timing_detection = false;
   const double t0 = cpu_seconds();
   fault::CampaignResult res = fault::run_campaign(cfg);
   const double elapsed = cpu_seconds() - t0;
@@ -132,7 +142,7 @@ double env_tol(const char* name, double fallback) {
 int main(int argc, char** argv) {
   // Default reps = mode count: with rotation, every mode then occupies
   // every within-rep slot exactly once.
-  int injections = 20000, shards = 1, reps = 7;
+  int injections = 20000, shards = 1, reps = 8;
   std::uint64_t seed = 7;
   std::string trace_out;
   int pos = 0;
@@ -159,10 +169,12 @@ int main(int argc, char** argv) {
       {"full", obs::Options::all()},
       {"forensics", {.metrics = true, .forensics = true}},
       {"cfi_off", obs::Options{}, /*install_analysis=*/true},
+      {"timing_off", obs::Options{}, /*install_analysis=*/true,
+       /*streaming=*/false, /*timing_off=*/true},
       {"sinks", obs::Options{}, /*install_analysis=*/false,
        /*streaming=*/true},
   };
-  constexpr int kNumModes = 7;
+  constexpr int kNumModes = 8;
 
   // Analysis artifacts for the cfi_off mode, computed once (the analysis
   // itself is build-time work, not part of the campaign hot path).
@@ -211,13 +223,17 @@ int main(int argc, char** argv) {
   // cfi_off is a disabled collection site like off2: one boolean check
   // per observation, so it is judged at the same symmetric tolerance.
   const double overhead_cfi_off = std::abs(1.0 - best[5] / best[0]);
+  // timing_off is the same shape for the timing detector: installed
+  // envelopes with detection off must cost one boolean check.
+  const double overhead_timing_off = std::abs(1.0 - best[6] / best[0]);
   // sinks pays encode + buffered append + flush per record — real work,
   // judged at the enabled tolerance (the <= 10% streaming bound).
-  const double overhead_sinks = 1.0 - best[6] / best[0];
+  const double overhead_sinks = 1.0 - best[7] / best[0];
   const bool disabled_ok = overhead_disabled <= tol_disabled;
   const bool enabled_ok = overhead_enabled <= tol_enabled;
   const bool forensics_ok = overhead_forensics <= tol_forensics;
   const bool cfi_off_ok = overhead_cfi_off <= tol_disabled;
+  const bool timing_off_ok = overhead_timing_off <= tol_disabled;
   const bool sinks_ok = overhead_sinks <= tol_enabled;
 
   std::printf(
@@ -235,12 +251,14 @@ int main(int argc, char** argv) {
       "  \"rate_full\": %.1f,\n"
       "  \"rate_forensics\": %.1f,\n"
       "  \"rate_cfi_off\": %.1f,\n"
+      "  \"rate_timing_off\": %.1f,\n"
       "  \"rate_sinks\": %.1f,\n"
       "  \"overhead_disabled\": %.4f,\n"
       "  \"overhead_metrics\": %.4f,\n"
       "  \"overhead_full\": %.4f,\n"
       "  \"overhead_forensics\": %.4f,\n"
       "  \"overhead_cfi_off\": %.4f,\n"
+      "  \"overhead_timing_off\": %.4f,\n"
       "  \"overhead_sinks\": %.4f,\n"
       "  \"tol_disabled\": %.4f,\n"
       "  \"tol_enabled\": %.4f,\n"
@@ -249,11 +267,12 @@ int main(int argc, char** argv) {
       "}\n",
       injections, shards, static_cast<unsigned long long>(seed), reps,
       static_cast<unsigned long long>(digest), digests_ok ? "true" : "false",
-      best[0], best[1], best[2], best[3], best[4], best[5], best[6],
+      best[0], best[1], best[2], best[3], best[4], best[5], best[6], best[7],
       overhead_disabled, overhead_metrics, overhead_enabled,
-      overhead_forensics, overhead_cfi_off, overhead_sinks, tol_disabled,
-      tol_enabled, tol_forensics,
-      disabled_ok && enabled_ok && forensics_ok && cfi_off_ok && sinks_ok
+      overhead_forensics, overhead_cfi_off, overhead_timing_off,
+      overhead_sinks, tol_disabled, tol_enabled, tol_forensics,
+      disabled_ok && enabled_ok && forensics_ok && cfi_off_ok &&
+              timing_off_ok && sinks_ok
           ? "true"
           : "false");
 
@@ -301,6 +320,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: disabled-CFI overhead %.2f%% exceeds %.2f%%\n",
                  overhead_cfi_off * 100, tol_disabled * 100);
+    return 1;
+  }
+  if (!timing_off_ok) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-timing overhead %.2f%% exceeds %.2f%%\n",
+                 overhead_timing_off * 100, tol_disabled * 100);
     return 1;
   }
   if (!sinks_ok) {

@@ -104,6 +104,10 @@ std::string AnalysisArtifacts::to_string() const {
        << (vuln.masked_fraction() * 100.0)
        << "% of (slot, reg, bit) points provably masked";
   }
+  if (!timing.by_entry.empty()) {
+    os << "\ntiming: " << timing.valid_count() << "/"
+       << timing.by_entry.size() << " entry points with finite envelopes";
+  }
   for (const StackWarning& w : stack_warnings) {
     os << "\n  [stack] at " << w.addr << " (" << location(program, w.addr)
        << "): " << w.what;
@@ -177,6 +181,26 @@ void AnalysisArtifacts::write_json(std::ostream& os) const {
        << vuln.live.size() * sim::kNumArchRegs * sim::kBitsPerReg
        << ", \"masked_fraction\": " << vuln.masked_fraction() << "}";
   }
+  os << ",\n  \"timing_envelopes\": [";
+  {
+    std::size_t i = 0;
+    for (const auto& [addr, env] : timing.by_entry) {
+      os << (i++ == 0 ? "\n" : ",\n") << "    {\"entry\": " << addr
+         << ", \"function\": ";
+      json_escape(os, program.symbol_at(addr));
+      os << ", \"valid\": " << (env.valid ? "true" : "false");
+      for (int c = 0; c < kNumClocks; ++c) {
+        os << ", \"" << clock_name(c) << "\": [" << env.clocks[c].lo << ", "
+           << env.clocks[c].hi << "]";
+      }
+      os << "}";
+    }
+  }
+  os << "\n  ],\n  \"timing_model\": {\"base_cycles\": "
+     << timing.model.base_cycles << ", \"branch_extra\": "
+     << timing.model.branch_extra << ", \"load_extra\": "
+     << timing.model.load_extra << ", \"store_extra\": "
+     << timing.model.store_extra << "}";
   os << ",\n  \"stats\": {\"instructions\": " << verifier.instructions
      << ", \"padding\": " << verifier.padding << ", \"branches\": "
      << verifier.branches << ", \"indirect_jumps\": "
@@ -203,6 +227,10 @@ AnalysisArtifacts analyze_program(const Program& program,
   }
   if (options.bit_liveness) {
     art.vuln = compute_bit_liveness(program, art.cfg, art.derived);
+  }
+  if (options.timing_envelopes) {
+    art.timing = compute_timing_envelopes(program, art.cfg,
+                                          options.timing_model);
   }
   art.verifier = verify_with_cfg(program, art.cfg, art.facts, options.verifier);
   return art;

@@ -20,6 +20,7 @@
 #include "analysis/bitlive.hpp"
 #include "analysis/cfg.hpp"
 #include "analysis/dataflow.hpp"
+#include "analysis/timing.hpp"
 #include "sim/verifier.hpp"
 
 namespace xentry::analysis {
@@ -47,6 +48,11 @@ struct AnalyzeOptions {
   std::size_t max_derived = 64;
   /// Compute the per-bit vulnerability map (importance-sampling input).
   bool bit_liveness = true;
+  /// Compute static [BCET, WCET] timing envelopes per entry point
+  /// (Technique::Timing input).
+  bool timing_envelopes = true;
+  /// Cycle weights for the timing analysis.
+  TimingCostModel timing_model;
 };
 
 struct AnalysisArtifacts {
@@ -64,6 +70,9 @@ struct AnalysisArtifacts {
   /// off).  Computed after assertion derivation so gate-time consumers
   /// are part of the liveness roots.
   VulnerabilityMap vuln;
+  /// Per-entry-point timing envelopes (empty map when
+  /// AnalyzeOptions::timing_envelopes is off or nothing was provable).
+  TimingEnvelopes timing;
   sim::VerifierReport verifier;
 
   std::size_t reachable_blocks() const;

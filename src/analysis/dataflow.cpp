@@ -101,7 +101,7 @@ void apply_instruction(const Instruction& insn, RegState& state) {
       const Interval a = get(insn.r1), b = get(insn.r2);
       Interval r = Interval::top();
       if (a.lo == a.hi && b.lo == b.hi) {
-        std::int64_t p;
+        std::int64_t p = 0;
         if (!__builtin_mul_overflow(a.lo, b.lo, &p)) r = Interval::exact(p);
       }
       set(insn.r1, r);
@@ -222,7 +222,7 @@ void refine_for_edge(const Program& program, const BasicBlock& b,
   const auto target = static_cast<Addr>(jcc.imm);
   const Addr fallthrough = b.last + 1;
   if (target == fallthrough) return;  // both edges collapse, no knowledge
-  bool taken;
+  bool taken = false;
   if (succ.first == target) taken = true;
   else if (succ.first == fallthrough) taken = false;
   else return;

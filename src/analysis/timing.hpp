@@ -1,0 +1,136 @@
+// Static timing-envelope analysis: sound per-handler [BCET, WCET] bounds.
+//
+// A per-instruction cycle model (base cost plus branch/load/store weights,
+// seeded from the same CostParams-class constants the overhead model uses)
+// is propagated over the control-flow graph as a five-clock cost vector —
+// cycles, instructions retired, branches, loads, stores — mirroring the
+// four hardware events of paper Table I plus the modeled cycle clock.
+// Loop trip counts are inferred from the signed-interval analysis (a
+// unique monotone writer whose value is interval-bounded at the loop body
+// entry bounds the iteration count); loops the analysis cannot bound
+// soundly widen to "no envelope" for every handler that can reach them,
+// never to an unsound finite bound.  The result is a per-entry-point
+// envelope with *provably zero false positives* on fault-free runs: every
+// fault-free activation's observed cost vector lies inside the envelope
+// of its handler, so any observation outside it is evidence of a fault.
+//
+// The analysis is interprocedural by function summary: each function gets
+// a [min, max] cost range per exit channel (Return for `ret`, Gate for
+// `hlt`), composed bottom-up in reverse call order.  Tail jumps chain the
+// target's channels; the multicall-style manual indirect call (push of a
+// materialized return address + `jmp_reg` through a resolved target set)
+// composes the union of the target summaries.  Recursion, irreducible
+// flow, unresolved indirect jumps and unbounded loops all poison the
+// summary rather than risk an unsound bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "sim/perf_counters.hpp"
+#include "sim/program.hpp"
+
+namespace xentry::analysis {
+
+/// Deterministic per-instruction cycle weights.  The base cost matches
+/// the simulator's one-tsc-per-step retirement; the class extras model
+/// the relative latency of branches and memory traffic the way
+/// xentry::CostParams models interception costs — parameters, not host
+/// measurements.  Observed cycles are reconstructible from a PerfSnapshot
+/// alone (the model is linear in the four counter classes), so the
+/// runtime check needs no trace replay.
+struct TimingCostModel {
+  std::int64_t base_cycles = 1;    ///< every retired instruction
+  std::int64_t branch_extra = 2;   ///< is_branch: redirect penalty
+  std::int64_t load_extra = 3;     ///< is_mem_load: cache-hit latency
+  std::int64_t store_extra = 2;    ///< is_mem_store: store-buffer slot
+
+  std::int64_t cost_of(sim::Opcode op) const {
+    if (op == sim::Opcode::Hlt) return 0;  // the VM-entry gate: not retired
+    return base_cycles + (sim::is_branch(op) ? branch_extra : 0) +
+           (sim::is_mem_load(op) ? load_extra : 0) +
+           (sim::is_mem_store(op) ? store_extra : 0);
+  }
+
+  /// Modeled cycles of a whole run, from the VM-entry counter readout.
+  std::int64_t cycles_from_counters(const sim::PerfSnapshot& c) const {
+    return base_cycles * static_cast<std::int64_t>(c.inst_retired) +
+           branch_extra * static_cast<std::int64_t>(c.branches) +
+           load_extra * static_cast<std::int64_t>(c.loads) +
+           store_extra * static_cast<std::int64_t>(c.stores);
+  }
+
+  friend bool operator==(const TimingCostModel&,
+                         const TimingCostModel&) = default;
+};
+
+/// The five independent "clocks" (hvdetecc-style multi-clock checking):
+/// index 0 is the modeled cycle clock, 1..4 the counter classes.
+inline constexpr int kNumClocks = 5;
+enum : int { kClockCycles = 0, kClockInsts, kClockBranches, kClockLoads,
+             kClockStores };
+
+std::string_view clock_name(int clock);
+
+/// Inclusive [lo, hi] bound of one clock over all fault-free paths.
+struct ClockEnvelope {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  friend bool operator==(const ClockEnvelope&, const ClockEnvelope&) = default;
+};
+
+/// Envelope of one handler entry point, Gate channel (entry to VM entry).
+struct TimingEnvelope {
+  /// Every loop on every entry-to-gate path has a proven trip bound and
+  /// the bounds are finite; when false the runtime check is disabled for
+  /// this entry (soundly: no claim is made, so nothing can fire).
+  bool valid = false;
+  ClockEnvelope clocks[kNumClocks] = {};
+
+  const ClockEnvelope& cycles() const { return clocks[kClockCycles]; }
+
+  /// True when the observed snapshot lies inside every clock's bound.
+  bool contains(const TimingCostModel& model,
+                const sim::PerfSnapshot& c) const;
+};
+
+/// All envelopes of one program, keyed by entry-point address.
+struct TimingEnvelopes {
+  TimingCostModel model;
+  std::map<sim::Addr, TimingEnvelope> by_entry;
+
+  /// Envelope for a handler entry, or nullptr when none was proven.
+  const TimingEnvelope* at(sim::Addr entry) const {
+    auto it = by_entry.find(entry);
+    return it == by_entry.end() ? nullptr : &it->second;
+  }
+
+  std::size_t valid_count() const;
+};
+
+/// Outcome of one runtime envelope check (consumed by Technique::Timing).
+struct TimingCheckResult {
+  bool checked = false;      ///< an envelope existed and was applied
+  bool cycle_miss = false;   ///< modeled cycle clock outside its bound
+  bool counter_miss = false; ///< any counter clock outside its bound
+  int first_bad_clock = -1;  ///< lowest-index violated clock, -1 if none
+
+  bool ok() const { return !cycle_miss && !counter_miss; }
+};
+
+/// Checks one VM entry's counter readout against the entry's envelope.
+/// Entries without a valid envelope report checked=false and pass.
+TimingCheckResult check_timing(const TimingEnvelopes& envelopes,
+                               sim::Addr entry, const sim::PerfSnapshot& c);
+
+/// Computes envelopes for every function entry point of the program.
+/// `cfg` must be the graph of the same program (JmpR target resolution is
+/// read back from its edges).
+TimingEnvelopes compute_timing_envelopes(const sim::Program& program,
+                                         const ControlFlowGraph& cfg,
+                                         const TimingCostModel& model = {});
+
+}  // namespace xentry::analysis

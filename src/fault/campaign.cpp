@@ -146,6 +146,19 @@ void validate_campaign_config(const CampaignConfig& cfg) {
          "analyze_program(...) output or disable "
          "xentry.control_flow_detection");
   }
+  if (cfg.xentry.timing_detection) {
+    if (cfg.analysis == nullptr) {
+      fail("timing detection is enabled but no analysis artifacts are "
+           "installed — it can never fire; set cfg.analysis to "
+           "analyze_program(...) output or disable "
+           "xentry.timing_detection");
+    }
+    if (cfg.analysis->timing.valid_count() == 0) {
+      fail("timing detection is enabled but the analysis artifacts carry "
+           "no finite timing envelopes — re-run analyze_program with "
+           "AnalyzeOptions::timing_envelopes enabled");
+    }
+  }
   if (cfg.sampling.importance) {
     if (!(cfg.sampling.weight_floor > 0.0 &&
           cfg.sampling.weight_floor <= 1.0)) {

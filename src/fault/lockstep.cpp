@@ -16,7 +16,7 @@ namespace {
 /// One replay side: the CPU plus whether it has reached its natural end
 /// (VM-entry halt or trap).  A done side parks; the other may continue.
 struct Side {
-  sim::Cpu* cpu;
+  sim::Cpu* cpu = nullptr;
   bool done = false;
   bool halted = false;  ///< done via Hlt (the VM-entry gate), not a trap
 };
@@ -226,8 +226,8 @@ obs::TaintSample make_sample(std::uint64_t boundary, const Side& g,
       ++s.stack_words;
       continue;
     }
-    L::OutputClass cls;
-    int dom;
+    L::OutputClass cls = L::OutputClass::HvGlobal;
+    int dom = 0;
     if (L::classify_address(d.addr, nd, nv, cls, dom)) {
       ++s.persistent_words;
       if (cls == L::OutputClass::TimeValue) ++s.time_words;

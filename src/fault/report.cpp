@@ -47,6 +47,9 @@ std::string summarize(const std::vector<InjectionRecord>& records) {
   if (cov.control_flow > 0) {
     os << ", cfi " << 100.0 * cov.share(cov.control_flow) << "%";
   }
+  if (cov.timing > 0) {
+    os << ", timing " << 100.0 * cov.share(cov.timing) << "%";
+  }
   os << ", undetected " << 100.0 * cov.share(cov.undetected) << "%]\n";
 
   os << "consequences:";

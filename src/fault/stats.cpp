@@ -21,6 +21,7 @@ CoverageBreakdown coverage_breakdown(
       case Technique::VmTransition: ++out.vm_transition; break;
       case Technique::StackRedundancy: ++out.stack_redundancy; break;
       case Technique::ControlFlow: ++out.control_flow; break;
+      case Technique::Timing: ++out.timing; break;
       case Technique::None: ++out.undetected; break;
     }
   }

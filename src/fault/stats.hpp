@@ -19,6 +19,7 @@ struct CoverageBreakdown {
   std::size_t vm_transition = 0;
   std::size_t stack_redundancy = 0;  ///< extension technique, 0 by default
   std::size_t control_flow = 0;      ///< CFI against the static CFG
+  std::size_t timing = 0;            ///< timing-envelope misses
   std::size_t undetected = 0;
 
   double coverage() const {

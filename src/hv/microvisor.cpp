@@ -132,6 +132,11 @@ class Emitter {
   void emit_runq_insert() {
     as.global("runq_insert");
     as.load(r15, rbp, L::kHvRunqCount);
+    // Timing-analyzability clamp: the count is at most kMaxVcpus in every
+    // correct execution, so masking is the identity fault-free while giving
+    // the static interval analysis a finite trip bound for the scan loop
+    // even in assertion-free builds (a corrupted count cannot spin).
+    as.andi(r15, 31);
     as.movi(rcx, 0);
     auto scan = as.here();
     auto append = as.make_label();
@@ -266,6 +271,7 @@ class Emitter {
     auto idle_path = as.make_label();
     auto found = as.make_label();
     as.load(r10, rbp, L::kHvRunqCount);
+    as.andi(r10, 31);  // timing clamp: identity fault-free (count <= kMaxVcpus)
     as.cmpi(r10, 0);
     as.je(idle_path);
     as.load(r11, rbp, L::kHvSchedCursor);
@@ -358,6 +364,7 @@ class Emitter {
     as.store(r8, r10, L::kVcpuState);
     as.load(r10, r8, L::kVcpuId);
     as.load(r11, rbp, L::kHvRunqCount);
+    as.andi(r11, 31);  // timing clamp: identity fault-free (count <= kMaxVcpus)
     as.movi(r12, 0);  // read cursor
     as.movi(r13, 0);  // write cursor
     auto scan = as.here();
@@ -407,11 +414,21 @@ class Emitter {
   }
 
   // do_tasklet_work: drains the tasklet queue; each tasklet does a small
-  // amount of bounded work.  Clobbers r10..r13.
+  // amount of bounded work.  Clobbers r10..r14.
   void emit_tasklet_work() {
     as.global("do_tasklet_work");
+    // Timing-analyzability budget: the queue only drains inside the loop,
+    // so the iteration count equals the entry count (<= 15 in any correct
+    // execution — the assertion below checks it).  Carrying that bound in
+    // a register gives the static analysis a provable trip count; the
+    // budget never binds fault-free.
+    as.load(r14, rbp, L::kHvTaskletCount);
+    as.andi(r14, 15);
     auto loop = as.here();
     auto out = as.make_label();
+    as.cmpi(r14, 0);
+    as.je(out);
+    as.dec(r14);
     as.load(r10, rbp, L::kHvTaskletCount);
     as.cmpi(r10, 0);
     as.je(out);
@@ -439,13 +456,24 @@ class Emitter {
 
   // do_softirq_work: processes pending softirq bits until none remain
   // (timer -> update_time, schedule -> schedule, tasklet -> tasklet work).
+  // Clobbers r10, rsi and whatever the dispatched handlers clobber.
   void emit_softirq_work() {
     as.global("do_softirq_work");
+    // Timing-analyzability budget: none of the dispatched handlers raises
+    // a softirq, so pending bits only ever clear — at most one iteration
+    // per serviceable bit plus a final drain, 4 total.  A budget of 8
+    // never binds fault-free but bounds the loop even when a fault
+    // corrupts the pending word mid-drain.  rsi survives every callee
+    // (update_time, schedule, do_tasklet_work leave it untouched).
+    as.movi(rsi, 8);
     auto loop = as.here();
     auto out = as.make_label();
     auto not_timer = as.make_label();
     auto not_sched = as.make_label();
     auto clear_all = as.make_label();
+    as.cmpi(rsi, 0);
+    as.je(out);
+    as.dec(rsi);
     as.load(r10, rbp, L::kHvSoftirqPending);
     as.cmpi(r10, 0);
     as.je(out);
@@ -908,6 +936,7 @@ class Emitter {
   void emit_hypercalls() {
     handler("hypercall_set_trap_table", [&] {
       a_le(rdi, 16, kAssertTrapTableCount);
+      as.andi(rdi, 31);  // timing clamp: identity for any asserted count
       as.load(r10, r9, L::kDomGuestRam);
       as.movi(r11, 0);
       auto loop = as.here();
@@ -932,6 +961,7 @@ class Emitter {
 
     handler("hypercall_mmu_update", [&] {
       a_le(rdi, 64, kAssertMmuCount);
+      as.andi(rdi, 0x7f);  // timing clamp: identity for any asserted count
       as.load(r10, r9, L::kDomGuestRam);
       as.movi(r11, 0);
       as.movi(rax, 0);
@@ -970,6 +1000,7 @@ class Emitter {
 
     handler("hypercall_set_gdt", [&] {
       a_le(rdi, 8, kAssertGdtEntries);
+      as.andi(rdi, 15);  // timing clamp: identity for any asserted count
       as.load(r10, r9, L::kDomGuestRam);
       as.movi(r11, 0);
       auto loop = as.here();
@@ -1106,6 +1137,8 @@ class Emitter {
       auto dec_loop_head = as.make_label();
       auto done_inc = as.make_label();
       auto done_dec = as.make_label();
+      // Timing clamp: page-op batches are at most 16 pages fault-free.
+      as.andi(rsi, 31);
       as.load(r10, r9, L::kDomTotPages);
       as.load(r11, r9, L::kDomMaxPages);
       as.load(r12, r9, L::kDomGuestRam);
@@ -1146,14 +1179,21 @@ class Emitter {
 
     handler("hypercall_multicall", [&] {
       a_le(rdi, 8, kAssertMulticallCount);
+      // Timing-analyzable loop carriage: the batch bound lives in rdx and
+      // the index in rsi, registers none of the multicall-safe bodies
+      // write, so neither needs to round-trip through the stack and the
+      // static analysis can prove the trip count across the indirect
+      // calls.  The clamp is the identity for any asserted batch size.
+      as.mov(rdx, rdi);
+      as.andi(rdx, 15);
       as.load(r10, r9, L::kDomGuestRam);
-      as.movi(r11, 0);
+      as.movi(rsi, 0);
       auto loop = as.here();
       auto done = as.make_label();
       auto skip = as.make_label();
-      as.cmp(r11, rdi);
+      as.cmp(rsi, rdx);
       as.jge(done);
-      as.mov(r12, r11);
+      as.mov(r12, rsi);
       as.shli(r12, 1);
       as.add(r12, r10);
       as.load(r13, r12, L::kGuestReqBuffer);      // hypercall number
@@ -1166,21 +1206,19 @@ class Emitter {
       as.je(skip);  // not multicall-safe: skipped
       as.push(rdi);
       as.push(r10);
-      as.push(r11);
       as.mov(rdi, r14);
       auto ret_here = as.make_label();
       as.movi(rbx, ret_here);
       as.push(rbx);
       as.jmp_reg(r15);  // manual indirect call through the in-memory table
       as.bind(ret_here);
-      as.pop(r11);
       as.pop(r10);
       as.pop(rdi);
       as.bind(skip);
-      as.inc(r11);
+      as.inc(rsi);
       as.jmp(loop);
       as.bind(done);
-      as.mov(rax, r11);
+      as.mov(rax, rsi);
       as.ret();
     });
 
@@ -1249,6 +1287,7 @@ class Emitter {
 
     handler("hypercall_console_io", [&] {
       a_le(rdi, 64, kAssertConsoleCount);
+      as.andi(rdi, 0x7f);  // timing clamp: identity for any asserted count
       as.load(r10, r9, L::kDomGuestRam);
       as.load(r11, rbp, L::kHvConsolePtr);
       as.movi(r12, 0);
@@ -1281,6 +1320,8 @@ class Emitter {
     });
 
     handler("hypercall_grant_table_op", [&] {
+      // Timing clamp: grant batches are at most 8 entries fault-free.
+      as.andi(rsi, 15);
       as.load(r10, r9, L::kDomGuestRam);
       as.movi(r11, 0);
       auto loop = as.here();
@@ -1428,6 +1469,8 @@ class Emitter {
     });
 
     handler("hypercall_mmuext_op", [&] {
+      // Timing clamp: extended-op batches are at most 16 ops fault-free.
+      as.andi(rsi, 31);
       as.movi(r10, 0);
       auto loop = as.here();
       auto done = as.make_label();

@@ -1,6 +1,7 @@
 #include "xentry/framework.hpp"
 
 #include "analysis/cfi.hpp"
+#include "analysis/timing.hpp"
 
 namespace xentry {
 
@@ -12,6 +13,7 @@ std::string_view technique_name(Technique t) {
     case Technique::VmTransition: return "vm_transition";
     case Technique::StackRedundancy: return "stack_redundancy";
     case Technique::ControlFlow: return "control_flow";
+    case Technique::Timing: return "timing";
   }
   return "?";
 }
@@ -33,6 +35,11 @@ void Xentry::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.cfi_checks = &registry->counter("xentry.cfi.checks");
   metrics_.cfi_edge_misses = &registry->counter("xentry.cfi.edge_misses");
   metrics_.cfi_derived_fires = &registry->counter("xentry.cfi.derived_fires");
+  metrics_.timing_checks = &registry->counter("xentry.timing.checks");
+  metrics_.timing_cycle_misses =
+      &registry->counter("xentry.timing.cycle_misses");
+  metrics_.timing_counter_misses =
+      &registry->counter("xentry.timing.counter_misses");
 }
 
 void Xentry::set_analysis(const analysis::AnalysisArtifacts* artifacts) {
@@ -46,7 +53,8 @@ void Xentry::set_analysis(const analysis::AnalysisArtifacts* artifacts) {
 Observation Xentry::observe(hv::Machine& machine,
                             const hv::Activation& activation,
                             hv::RunOptions opts) {
-  opts.arm_counters = cfg_.transition_detection;
+  const bool timing = timing_active();
+  opts.arm_counters = cfg_.transition_detection || timing;
   const bool cfi = cfi_active();
   if (cfi && opts.trace == nullptr) {
     // CFI replays the retired-instruction trace; attach a sink when the
@@ -92,11 +100,15 @@ Observation Xentry::observe(hv::Machine& machine,
     return obs;
   }
 
-  // VM entry: CFI first (deterministic evidence), then the learned
-  // transition detector on what CFI cannot prove wrong.
+  // VM entry: CFI first (deterministic evidence), then the timing
+  // envelope (deterministic bounds on the retired counters), then the
+  // learned transition detector on what neither can prove wrong.
   if (cfi) {
     check_control_flow(machine, activation, *opts.trace,
                        /*reached_vm_entry=*/true, obs);
+  }
+  if (timing) {
+    check_timing_envelope(machine, activation, obs);
   }
   if (!obs.detected && cfg_.transition_detection && detector_.has_model() &&
       detector_.flag(obs.features)) {
@@ -134,6 +146,28 @@ void Xentry::check_control_flow(hv::Machine& machine,
   obs.detection_step = r.kind == analysis::CfiResult::Kind::DerivedRange
                            ? obs.run.steps
                            : r.step;
+}
+
+void Xentry::check_timing_envelope(hv::Machine& machine,
+                                   const hv::Activation& activation,
+                                   Observation& obs) {
+  // Only meaningful on runs that reached VM entry: the counters then
+  // cover exactly one handler activation, the quantity the static
+  // envelope bounds.  Entries without a finite envelope (statically
+  // unbounded handlers) are skipped, never flagged.
+  const analysis::TimingCheckResult r = analysis::check_timing(
+      analysis_->timing, machine.handler_entry(activation.reason),
+      obs.run.counters);
+  if (!r.checked) return;
+  if (metrics_.timing_checks != nullptr) {
+    metrics_.timing_checks->inc();
+    if (r.cycle_miss) metrics_.timing_cycle_misses->inc();
+    if (r.counter_miss) metrics_.timing_counter_misses->inc();
+  }
+  if (r.ok() || obs.detected) return;
+  obs.detected = true;
+  obs.technique = Technique::Timing;
+  obs.detection_step = obs.run.steps;
 }
 
 void Xentry::record_detection_metrics(const Observation& obs) {

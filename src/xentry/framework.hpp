@@ -34,9 +34,13 @@ enum class Technique : std::uint8_t {
   /// Extension: control-flow integrity against the statically computed
   /// CFG (legal-edge replay + analyzer-derived range assertions).
   ControlFlow,
+  /// Extension: timing-envelope detection — the armed performance
+  /// counters at VM entry are checked against the statically computed
+  /// per-exit-reason [BCET, WCET] envelope and per-counter envelopes.
+  Timing,
 };
 
-inline constexpr int kNumTechniques = 6;
+inline constexpr int kNumTechniques = 7;
 
 std::string_view technique_name(Technique t);
 
@@ -53,6 +57,14 @@ struct XentryConfig {
   /// via Xentry::set_analysis; off by default — when off, observe() is
   /// bit-identical to a build without the analysis subsystem.
   bool control_flow_detection = false;
+  /// Timing-envelope detection: at every VM entry the performance
+  /// counters retired by the handler run are checked against the
+  /// statically computed per-entry-point envelope (cycle model plus
+  /// per-counter clocks).  Needs analysis artifacts via
+  /// Xentry::set_analysis; forces counter arming when active; off by
+  /// default — when off, observe() is bit-identical to a build without
+  /// timing envelopes.
+  bool timing_detection = false;
   /// Execution engine for the machines driven under this configuration.
   /// Consumed by the campaign runner, which attaches it (plus the
   /// threaded-code compilation, for EngineKind::Jit) to every machine it
@@ -118,6 +130,9 @@ class Xentry {
                           const hv::Activation& activation,
                           const std::vector<sim::Addr>& trace,
                           bool reached_vm_entry, Observation& obs);
+  void check_timing_envelope(hv::Machine& machine,
+                             const hv::Activation& activation,
+                             Observation& obs);
 
   /// Pre-resolved metric handles (see set_metrics).  `observations` is
   /// the liveness gate: nullptr means metrics are off.
@@ -129,10 +144,18 @@ class Xentry {
     obs::Counter* cfi_checks = nullptr;
     obs::Counter* cfi_edge_misses = nullptr;
     obs::Counter* cfi_derived_fires = nullptr;
+    obs::Counter* timing_checks = nullptr;
+    obs::Counter* timing_cycle_misses = nullptr;
+    obs::Counter* timing_counter_misses = nullptr;
   };
 
   bool cfi_active() const {
     return cfg_.control_flow_detection && analysis_ != nullptr;
+  }
+
+  bool timing_active() const {
+    return cfg_.timing_detection && analysis_ != nullptr &&
+           analysis_->timing.valid_count() > 0;
   }
 
   XentryConfig cfg_;

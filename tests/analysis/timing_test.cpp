@@ -1,0 +1,357 @@
+#include "analysis/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/artifacts.hpp"
+#include "hv/machine.hpp"
+#include "hv/microvisor.hpp"
+#include "sim/assembler.hpp"
+#include "sim/cpu.hpp"
+#include "sim/memory.hpp"
+
+namespace xentry::analysis {
+namespace {
+
+using sim::Addr;
+using sim::Assembler;
+using sim::Program;
+using sim::Reg;
+
+TimingEnvelopes envelopes_of(const Program& p) {
+  const ControlFlowGraph cfg = build_cfg(p);
+  return compute_timing_envelopes(p, cfg);
+}
+
+/// Runs `p` from `entry` to the Hlt gate with armed counters.
+sim::PerfSnapshot run_counters(const Program& p, const std::string& entry) {
+  sim::Memory mem;
+  mem.map(0x100, 64, sim::Perm::ReadWrite, "data");
+  mem.map(0x200, 64, sim::Perm::ReadWrite, "stack");
+  sim::Cpu cpu(&p, &mem);
+  cpu.reset(p.symbol(entry), 0x240);
+  cpu.counters().arm();
+  EXPECT_EQ(cpu.run(100000).status, sim::StepInfo::Status::Halted);
+  return cpu.counters().disarm();
+}
+
+TEST(TimingModelTest, CyclesLinearInCounterClasses) {
+  const TimingCostModel m;
+  sim::PerfSnapshot s;
+  s.inst_retired = 10;
+  s.branches = 2;
+  s.loads = 3;
+  s.stores = 1;
+  EXPECT_EQ(m.cycles_from_counters(s),
+            10 * m.base_cycles + 2 * m.branch_extra + 3 * m.load_extra +
+                1 * m.store_extra);
+  EXPECT_EQ(m.cost_of(sim::Opcode::Hlt), 0);
+  EXPECT_EQ(m.cost_of(sim::Opcode::MovRI), m.base_cycles);
+  EXPECT_EQ(m.cost_of(sim::Opcode::Jmp), m.base_cycles + m.branch_extra);
+  EXPECT_EQ(m.cost_of(sim::Opcode::Pop),
+            m.base_cycles + m.branch_extra * 0 + m.load_extra);
+  // Ret is both a branch and a load.
+  EXPECT_EQ(m.cost_of(sim::Opcode::Ret),
+            m.base_cycles + m.branch_extra + m.load_extra);
+}
+
+TEST(TimingTest, StraightLineIsExact) {
+  Assembler as(0x1000);
+  as.global("main");
+  as.movi(Reg::rax, 7);
+  as.movi(Reg::rbx, 50);
+  as.hlt();
+  const Program p = as.finish();
+  const TimingEnvelopes env = envelopes_of(p);
+  const TimingEnvelope* e = env.at(p.symbol("main"));
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->valid);
+  EXPECT_EQ(e->clocks[kClockInsts].lo, 2);
+  EXPECT_EQ(e->clocks[kClockInsts].hi, 2);
+  EXPECT_EQ(e->clocks[kClockBranches].lo, 0);
+  EXPECT_EQ(e->clocks[kClockBranches].hi, 0);
+  EXPECT_EQ(e->cycles().lo, e->cycles().hi);
+  EXPECT_TRUE(e->contains(env.model, run_counters(p, "main")));
+}
+
+TEST(TimingTest, BranchDiamondSpreadsEnvelope) {
+  // One path does an extra store; lo and hi must differ accordingly.
+  Assembler as(0x1000);
+  const auto skip = as.make_label();
+  as.global("main");
+  as.movi(Reg::rbx, 0x100);
+  as.cmpi(Reg::rax, 0);
+  as.je(skip);
+  as.store(Reg::rbx, Reg::rax);
+  as.bind(skip);
+  as.hlt();
+  const Program p = as.finish();
+  const TimingEnvelopes env = envelopes_of(p);
+  const TimingEnvelope* e = env.at(p.symbol("main"));
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->valid);
+  EXPECT_EQ(e->clocks[kClockStores].lo, 0);
+  EXPECT_EQ(e->clocks[kClockStores].hi, 1);
+  EXPECT_EQ(e->clocks[kClockInsts].lo, 3);
+  EXPECT_EQ(e->clocks[kClockInsts].hi, 4);
+  EXPECT_LT(e->cycles().lo, e->cycles().hi);
+}
+
+TEST(TimingTest, CountedLoopBoundIsTight) {
+  // for (rcx = 10; rcx != 0; --rcx): 1 + 10*3 = 31 retired instructions.
+  Assembler as(0x1000);
+  const auto loop = as.make_label();
+  as.global("main");
+  as.movi(Reg::rcx, 10);
+  as.bind(loop);
+  as.dec(Reg::rcx);
+  as.cmpi(Reg::rcx, 0);
+  as.jne(loop);
+  as.hlt();
+  const Program p = as.finish();
+  const TimingEnvelopes env = envelopes_of(p);
+  const TimingEnvelope* e = env.at(p.symbol("main"));
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->valid);
+  const sim::PerfSnapshot s = run_counters(p, "main");
+  EXPECT_EQ(s.inst_retired, 31u);
+  EXPECT_TRUE(e->contains(env.model, s));
+  // The WCET side is exact for this loop shape.
+  EXPECT_EQ(e->clocks[kClockInsts].hi, 31);
+  EXPECT_LE(e->clocks[kClockInsts].lo, 31);
+}
+
+TEST(TimingTest, CountedUpLoopWithRegisterBound) {
+  // for (rbx = 0; rbx < 5; ++rbx), guarded by cmp rbx, rcx (rcx = 5):
+  // the CmpRR refinement must bound the trip count.
+  Assembler as(0x1000);
+  const auto loop = as.make_label();
+  const auto out = as.make_label();
+  as.global("main");
+  as.movi(Reg::rbx, 0);
+  as.movi(Reg::rcx, 5);
+  as.bind(loop);
+  as.cmp(Reg::rbx, Reg::rcx);
+  as.jge(out);
+  as.inc(Reg::rbx);
+  as.jmp(loop);
+  as.bind(out);
+  as.hlt();
+  const Program p = as.finish();
+  const TimingEnvelopes env = envelopes_of(p);
+  const TimingEnvelope* e = env.at(p.symbol("main"));
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->valid);
+  const sim::PerfSnapshot s = run_counters(p, "main");
+  // 2 movi + 6 guard evaluations (2 insns each) + 5 body (inc+jmp) = 24.
+  EXPECT_EQ(s.inst_retired, 24u);
+  EXPECT_TRUE(e->contains(env.model, s));
+}
+
+TEST(TimingTest, NestedLoopsMultiplyBounds) {
+  // outer 4 iterations, inner 3 each; exact retired count checked by run.
+  Assembler as(0x1000);
+  const auto outer = as.make_label();
+  const auto inner = as.make_label();
+  as.global("main");
+  as.movi(Reg::rcx, 4);
+  as.bind(outer);
+  as.movi(Reg::rbx, 3);
+  as.bind(inner);
+  as.dec(Reg::rbx);
+  as.cmpi(Reg::rbx, 0);
+  as.jne(inner);
+  as.dec(Reg::rcx);
+  as.cmpi(Reg::rcx, 0);
+  as.jne(outer);
+  as.hlt();
+  const Program p = as.finish();
+  const TimingEnvelopes env = envelopes_of(p);
+  const TimingEnvelope* e = env.at(p.symbol("main"));
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->valid);
+  const sim::PerfSnapshot s = run_counters(p, "main");
+  // 1 + 4*(1 + 3*3 + 3) = 53 retired instructions.
+  EXPECT_EQ(s.inst_retired, 53u);
+  EXPECT_TRUE(e->contains(env.model, s));
+  EXPECT_GE(e->clocks[kClockInsts].hi, 53);
+}
+
+TEST(TimingTest, UnboundedLoopGetsNoEnvelope) {
+  // The trip count depends on a loaded value: the interval analysis sees
+  // top, so no sound bound exists and the envelope must be withheld.
+  Assembler as(0x1000);
+  const auto loop = as.make_label();
+  as.global("main");
+  as.movi(Reg::rbx, 0x100);
+  as.load(Reg::rcx, Reg::rbx);
+  as.bind(loop);
+  as.dec(Reg::rcx);
+  as.cmpi(Reg::rcx, 0);
+  as.jne(loop);
+  as.hlt();
+  const Program p = as.finish();
+  const TimingEnvelopes env = envelopes_of(p);
+  EXPECT_EQ(env.at(p.symbol("main")), nullptr);
+}
+
+TEST(TimingTest, UnboundedLoopDoesNotPoisonOtherEntries) {
+  Assembler as(0x1000);
+  const auto loop = as.make_label();
+  as.global("spin");
+  as.movi(Reg::rbx, 0x100);
+  as.load(Reg::rcx, Reg::rbx);
+  as.bind(loop);
+  as.dec(Reg::rcx);
+  as.cmpi(Reg::rcx, 0);
+  as.jne(loop);
+  as.hlt();
+  as.global("fast");
+  as.movi(Reg::rax, 1);
+  as.hlt();
+  const Program p = as.finish();
+  const TimingEnvelopes env = envelopes_of(p);
+  EXPECT_EQ(env.at(p.symbol("spin")), nullptr);
+  const TimingEnvelope* e = env.at(p.symbol("fast"));
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->valid);
+  EXPECT_EQ(e->clocks[kClockInsts].hi, 1);
+}
+
+TEST(TimingTest, CallComposesCalleeChannels) {
+  Assembler as(0x1000);
+  as.global("main");
+  as.movi(Reg::rbx, 0x100);
+  as.call("leaf");
+  as.store(Reg::rbx, Reg::rax);
+  as.hlt();
+  as.global("leaf");
+  as.movi(Reg::rax, 5);
+  as.ret();
+  const Program p = as.finish();
+  const TimingEnvelopes env = envelopes_of(p);
+  const TimingEnvelope* e = env.at(p.symbol("main"));
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->valid);
+  const sim::PerfSnapshot s = run_counters(p, "main");
+  EXPECT_EQ(s.inst_retired, 5u);
+  EXPECT_TRUE(e->contains(env.model, s));
+  EXPECT_EQ(e->clocks[kClockInsts].lo, 5);
+  EXPECT_EQ(e->clocks[kClockInsts].hi, 5);
+  // call pushes, ret pops, plus the explicit store/loads.
+  EXPECT_EQ(e->clocks[kClockBranches].hi, 2);
+  EXPECT_EQ(e->clocks[kClockLoads].hi, 1);
+  EXPECT_EQ(e->clocks[kClockStores].hi, 2);
+}
+
+TEST(TimingTest, RecursionGetsNoEnvelope) {
+  Assembler as(0x1000);
+  const auto done = as.make_label();
+  as.global("main");
+  as.cmpi(Reg::rcx, 0);
+  as.je(done);
+  as.dec(Reg::rcx);
+  as.call("main");
+  as.bind(done);
+  as.hlt();
+  const Program p = as.finish();
+  const TimingEnvelopes env = envelopes_of(p);
+  EXPECT_EQ(env.at(p.symbol("main")), nullptr);
+}
+
+TEST(TimingCheckTest, FlagsCycleAndCounterMisses) {
+  Assembler as(0x1000);
+  as.global("main");
+  as.movi(Reg::rax, 7);
+  as.movi(Reg::rbx, 50);
+  as.hlt();
+  const Program p = as.finish();
+  const TimingEnvelopes env = envelopes_of(p);
+  const Addr entry = p.symbol("main");
+
+  sim::PerfSnapshot good;
+  good.inst_retired = 2;
+  TimingCheckResult r = check_timing(env, entry, good);
+  EXPECT_TRUE(r.checked);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.first_bad_clock, -1);
+
+  // A skipped instruction (shorter run) violates both the cycle clock and
+  // the inst_retired clock.
+  sim::PerfSnapshot skipped;
+  skipped.inst_retired = 1;
+  r = check_timing(env, entry, skipped);
+  EXPECT_TRUE(r.checked);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.cycle_miss);
+  EXPECT_TRUE(r.counter_miss);
+  EXPECT_EQ(r.first_bad_clock, kClockCycles);
+
+  // Same instruction count but an extra load: the counter clocks and the
+  // modeled cycle clock both catch it.
+  sim::PerfSnapshot skew;
+  skew.inst_retired = 2;
+  skew.loads = 1;
+  r = check_timing(env, entry, skew);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.counter_miss);
+
+  // Unknown entry: no claim, no check.
+  r = check_timing(env, entry + 1, good);
+  EXPECT_FALSE(r.checked);
+  EXPECT_TRUE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Soundness on the real microvisor: 400 fault-free activations per config,
+// all 7 configurations of the test matrix; every observed counter vector
+// must lie inside its handler's envelope (the zero-false-positive claim),
+// and every exit reason must actually have a finite envelope.
+// ---------------------------------------------------------------------------
+
+TEST(TimingMicrovisorTest, EnvelopeSoundnessAcrossConfigMatrix) {
+  const std::vector<hv::MicrovisorOptions> configs = {
+      {3, 1, true, false}, {3, 1, true, true},  {3, 1, false, false},
+      {2, 1, true, false}, {4, 2, true, true},  {8, 1, true, false},
+      {1, 1, true, false},
+  };
+  const auto reasons = hv::all_exit_reasons();
+  for (const hv::MicrovisorOptions& opt : configs) {
+    hv::Machine machine(opt);
+    const hv::Microvisor& mv = machine.microvisor();
+    const AnalysisArtifacts art =
+        analyze_program(mv.program, hv::analyze_options(mv));
+
+    // Coverage: every exit reason's handler has a finite envelope.
+    for (const hv::ExitReason& reason : reasons) {
+      const TimingEnvelope* e = art.timing.at(machine.handler_entry(reason));
+      ASSERT_NE(e, nullptr) << hv::handler_symbol(reason);
+      EXPECT_TRUE(e->valid) << hv::handler_symbol(reason);
+      EXPECT_LT(e->cycles().lo, e->cycles().hi)
+          << hv::handler_symbol(reason) << ": degenerate cycle envelope";
+    }
+
+    // Soundness: 400 fault-free activations, zero envelope misses.
+    for (int i = 0; i < 400; ++i) {
+      const hv::ExitReason reason = reasons[i % reasons.size()];
+      const hv::Activation act =
+          machine.make_activation(reason, 0x9000 + static_cast<unsigned>(i));
+      hv::RunOptions ro;
+      ro.arm_counters = true;
+      const hv::RunResult rr = machine.run(act, ro);
+      ASSERT_TRUE(rr.reached_vm_entry) << hv::handler_symbol(reason);
+      const Addr entry = machine.handler_entry(reason);
+      const TimingCheckResult chk =
+          check_timing(art.timing, entry, rr.counters);
+      ASSERT_TRUE(chk.checked);
+      EXPECT_TRUE(chk.ok())
+          << hv::handler_symbol(reason) << " seed " << i << ": clock "
+          << clock_name(chk.first_bad_clock) << " outside envelope ("
+          << rr.counters.inst_retired << " insts, " << rr.counters.branches
+          << " br, " << rr.counters.loads << " ld, " << rr.counters.stores
+          << " st)";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xentry::analysis

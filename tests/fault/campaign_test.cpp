@@ -359,6 +359,144 @@ TEST(CampaignTest, ControlFlowMetricsExposed) {
   EXPECT_GT(cfi_detections, 0u);
 }
 
+TEST(CampaignTest, TimingDetectionRequiresArtifactsWithEnvelopes) {
+  CampaignConfig c;
+  c.xentry.transition_detection = false;
+  c.xentry.timing_detection = true;
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+  // Artifacts without timing envelopes are equally useless: the detector
+  // could never fire, so the config must be rejected up front.
+  const hv::Microvisor mv = hv::build_microvisor(c.machine);
+  analysis::AnalyzeOptions no_timing = hv::analyze_options(mv);
+  no_timing.timing_envelopes = false;
+  c.analysis = std::make_shared<const analysis::AnalysisArtifacts>(
+      analysis::analyze_program(mv.program, no_timing));
+  EXPECT_THROW(validate_campaign_config(c), std::invalid_argument);
+  c.analysis = analyze_machine(c.machine);
+  EXPECT_NO_THROW(validate_campaign_config(c));
+}
+
+TEST(CampaignTest, RecordsBitIdenticalWithTimingDisabledVsAbsent) {
+  // The digest contract: installing artifacts that carry timing
+  // envelopes with timing detection off must not perturb a single
+  // record — the disabled path must not even change counter arming.
+  CampaignConfig base;
+  base.injections = 250;
+  base.seed = 29;
+  base.shards = 2;
+  base.xentry.transition_detection = false;  // no model installed
+  CampaignConfig with_artifacts = base;
+  with_artifacts.analysis = analyze_machine(base.machine);
+  with_artifacts.xentry.timing_detection = false;  // explicit
+  const auto a = run_campaign(base);
+  const auto b = run_campaign(with_artifacts);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_TRUE(records_identical(a.records[i], b.records[i]))
+        << "record " << i << " differs with envelopes installed";
+  }
+}
+
+TEST(CampaignTest, TimingOnVsOffDiffersOnlyInDetectionFields) {
+  // With transition detection on (counters armed either way), enabling
+  // timing detection must not change which injections run or what they
+  // do — only the detection verdict may move.
+  CampaignConfig off;
+  off.injections = 2000;
+  off.seed = 31;
+  off.shards = 2;
+  off.collect_dataset = true;  // the training configuration: counters armed
+  off.analysis = analyze_machine(off.machine);
+  CampaignConfig on = off;
+  on.xentry.timing_detection = true;
+  const auto a = run_campaign(off);
+  const auto b = run_campaign(on);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const InjectionRecord& ra = a.records[i];
+    const InjectionRecord& rb = b.records[i];
+    ASSERT_EQ(ra.reason.code(), rb.reason.code()) << "record " << i;
+    ASSERT_EQ(ra.activation_seed, rb.activation_seed) << "record " << i;
+    ASSERT_EQ(ra.injection.at_step, rb.injection.at_step) << "record " << i;
+    ASSERT_EQ(ra.injection.reg, rb.injection.reg) << "record " << i;
+    ASSERT_EQ(ra.injection.bit, rb.injection.bit) << "record " << i;
+    ASSERT_EQ(ra.injected, rb.injected) << "record " << i;
+    ASSERT_EQ(ra.activated, rb.activated) << "record " << i;
+    ASSERT_EQ(ra.consequence, rb.consequence) << "record " << i;
+    ASSERT_EQ(ra.trap, rb.trap) << "record " << i;
+    ASSERT_TRUE(ra.features.as_array() == rb.features.as_array())
+        << "record " << i;
+    if (ra.detected) {
+      // Timing only inspects runs the other techniques passed over, so
+      // an off-side detection must survive unchanged.
+      ASSERT_TRUE(rb.detected) << "record " << i;
+      ASSERT_EQ(ra.technique, rb.technique) << "record " << i;
+    } else if (rb.detected) {
+      ASSERT_EQ(rb.technique, xentry::Technique::Timing) << "record " << i;
+    }
+  }
+}
+
+TEST(CampaignTest, TimingDetectionFiresAsDistinctClass) {
+  CampaignConfig cfg;
+  cfg.injections = 6000;
+  cfg.seed = 202;
+  cfg.shards = 2;
+  cfg.xentry.transition_detection = false;  // isolate the timing technique
+  cfg.xentry.timing_detection = true;
+  cfg.analysis = analyze_machine(cfg.machine);
+  const auto res = run_campaign(cfg);
+  const CoverageBreakdown cov = coverage_breakdown(res.records);
+  EXPECT_GT(cov.timing, 0u)
+      << "a 6000-injection campaign should trip some counter envelopes";
+  std::size_t timing_records = 0;
+  for (const auto& r : res.records) {
+    if (r.technique == xentry::Technique::Timing) {
+      EXPECT_TRUE(r.detected);
+      ++timing_records;
+    }
+  }
+  EXPECT_GT(timing_records, 0u);
+
+  // Same campaign without timing detection: the technique never appears.
+  CampaignConfig off = cfg;
+  off.xentry.timing_detection = false;
+  const auto plain = run_campaign(off);
+  for (const auto& r : plain.records) {
+    EXPECT_NE(r.technique, xentry::Technique::Timing);
+  }
+  const CoverageBreakdown cov_off = coverage_breakdown(plain.records);
+  EXPECT_GE(cov.coverage(), cov_off.coverage());
+}
+
+TEST(CampaignTest, TimingMetricsExposed) {
+  CampaignConfig cfg;
+  cfg.injections = 400;
+  cfg.seed = 23;
+  cfg.shards = 2;
+  cfg.xentry.transition_detection = false;
+  cfg.xentry.timing_detection = true;
+  cfg.analysis = analyze_machine(cfg.machine);
+  cfg.obs.metrics = true;
+  const auto res = run_campaign(cfg);
+  const obs::Counter* checks = res.metrics.find_counter("xentry.timing.checks");
+  ASSERT_NE(checks, nullptr);
+  EXPECT_GT(checks->value(), 0u);
+  const obs::Counter* cyc =
+      res.metrics.find_counter("xentry.timing.cycle_misses");
+  const obs::Counter* ctr =
+      res.metrics.find_counter("xentry.timing.counter_misses");
+  ASSERT_NE(cyc, nullptr);
+  ASSERT_NE(ctr, nullptr);
+  std::uint64_t timing_detections = 0;
+  for (const auto& r : res.records) {
+    timing_detections += r.technique == xentry::Technique::Timing;
+  }
+  // Every timing detection implies at least one envelope miss; misses on
+  // non-activated observations may exceed the record count.
+  EXPECT_GE(cyc->value() + ctr->value(), timing_detections);
+}
+
 TEST(CampaignTest, HeartbeatFiresAndFinalSampleIsExact) {
   CampaignConfig cfg;
   cfg.injections = 400;
